@@ -1,0 +1,84 @@
+/// \file bench_ablations.cpp
+/// Ablations of the design choices DESIGN.md calls out:
+///  * multi-iteration local ESC vs flush-every-iteration (retain = 4 vs 0)
+///    — the paper's "considerably reducing memory bandwidth, global sorting
+///    and compaction costs" claim;
+///  * dynamic sort-bit reduction vs static key width — the radix-sort work
+///    saving of Section 3.2.3;
+///  * long-row special handling on/off — Section 3.4's "avoid these
+///    unnecessary computations".
+
+#include <iostream>
+
+#include "core/acspgemm.hpp"
+#include "matrix/transpose.hpp"
+#include "suite/suite.hpp"
+#include "suite/table.hpp"
+
+namespace {
+
+using namespace acs;
+
+void compare(const char* title, const char* metric_label,
+             const std::vector<const SuiteEntry*>& entries, const Config& on,
+             const Config& off,
+             std::uint64_t sim::MetricCounters::* metric) {
+  std::cout << title << "\n";
+  TextTable table({"matrix", "sim ms (on)", "sim ms (off)", "speedup",
+                   std::string(metric_label) + " (on)",
+                   std::string(metric_label) + " (off)"});
+  for (const SuiteEntry* entry : entries) {
+    const auto a = build_matrix<double>(*entry);
+    const auto b = entry->square ? a : transpose(a);
+    SpgemmStats s_on, s_off;
+    multiply(a, b, on, &s_on);
+    multiply(a, b, off, &s_off);
+    table.add_row({entry->name, TextTable::num(s_on.sim_time_s * 1e3, 3),
+                   TextTable::num(s_off.sim_time_s * 1e3, 3),
+                   TextTable::num(s_off.sim_time_s / s_on.sim_time_s, 2) + "x",
+                   TextTable::si(static_cast<double>(s_on.metrics.*metric)),
+                   TextTable::si(static_cast<double>(s_off.metrics.*metric))});
+  }
+  std::cout << table.str() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::vector<const SuiteEntry*> picks;
+  for (const auto& entry : showcase_suite())
+    if (entry.name == "scircuit-like" || entry.name == "144-like" ||
+        entry.name == "filter3D-like" || entry.name == "cant-like" ||
+        entry.name == "webbase-like")
+      picks.push_back(&entry);
+
+  {
+    Config on, off;
+    off.retain_per_thread = 0;
+    compare("Ablation 1: multi-iteration local ESC (retain=4) vs "
+            "flush-every-iteration (retain=0, prior-work behaviour)",
+            "global bytes", picks, on, off,
+            &sim::MetricCounters::global_bytes_coalesced);
+  }
+  {
+    Config on, off;
+    off.dynamic_bits = false;
+    compare("Ablation 2: dynamic sort-bit reduction vs static key width",
+            "sort work", picks, on, off,
+            &sim::MetricCounters::sort_pass_elements);
+  }
+  {
+    std::vector<const SuiteEntry*> longrow_picks;
+    for (const auto& entry : showcase_suite())
+      if (entry.name == "webbase-like" || entry.name == "language-like" ||
+          entry.name == "bibd-like")
+        longrow_picks.push_back(&entry);
+    Config on, off;
+    off.long_row_handling = false;
+    compare("Ablation 3: long-row pointer chunks vs processing long rows "
+            "through ESC",
+            "sort work", longrow_picks, on, off,
+            &sim::MetricCounters::sort_pass_elements);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// \file bench_full_suite.cpp
+/// Reproduces Figures 9-12: marker plots of all six methods over the
+/// complete test set, for float and double, split into small (a < 42) and
+/// large (a >= 42) matrices. Emits one CSV per figure with per-matrix
+/// GFLOPS series, plus a console summary of per-method win counts — the
+/// paper's headline "AC-SpGEMM takes the performance lead in 83% of all
+/// cases".
+
+#include <iostream>
+#include <map>
+
+#include "suite/bench_runner.hpp"
+#include "suite/registry.hpp"
+#include "suite/table.hpp"
+
+namespace {
+
+template <class T>
+void run_precision(const char* label) {
+  using namespace acs;
+  const auto algos = make_paper_algorithms<T>();
+
+  std::vector<std::string> header{"matrix", "avg_len", "temp"};
+  for (const auto& a : algos) header.push_back(a->name());
+
+  CsvWriter small_csv(std::string("full_suite_") + label + "_small.csv");
+  CsvWriter large_csv(std::string("full_suite_") + label + "_large.csv");
+  small_csv.write_row(header);
+  large_csv.write_row(header);
+
+  std::map<std::string, int> wins;
+  int total = 0, ac_best_sparse = 0, sparse_total = 0;
+
+  for (const auto& entry : full_suite()) {
+    const auto results = run_benchmarks<T>(entry, algos);
+    const bool sparse = results[0].avg_row_len_a < 42.0;
+    std::vector<std::string> row{
+        entry.name, TextTable::num(results[0].avg_row_len_a, 1),
+        std::to_string(results[0].temp_products)};
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      row.push_back(TextTable::num(results[i].gflops, 3));
+      if (results[i].gflops > results[best].gflops) best = i;
+    }
+    (sparse ? small_csv : large_csv).write_row(row);
+    wins[results[best].algorithm]++;
+    ++total;
+    if (sparse) {
+      ++sparse_total;
+      if (best == 0) ++ac_best_sparse;
+    }
+  }
+
+  std::cout << "Figures 9-12 (" << label << "): fastest method per matrix "
+            << "(" << total << " matrices)\n";
+  TextTable table({"method", "wins", "share"});
+  for (const auto& [name, count] : wins)
+    table.add_row({name, std::to_string(count),
+                   TextTable::num(100.0 * count / total, 0) + "%"});
+  std::cout << table.str();
+  std::cout << "AC-SpGEMM best on highly sparse: " << ac_best_sparse << "/"
+            << sparse_total << " ("
+            << TextTable::num(100.0 * ac_best_sparse / sparse_total, 0)
+            << "%)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  run_precision<float>("float");
+  run_precision<double>("double");
+  std::cout << "wrote full_suite_{float,double}_{small,large}.csv\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// \file bench_hybrid_extension.cpp
+/// Evaluates the paper's proposed future-work extension (Conclusion):
+/// adaptively choosing between ESC (AC-SpGEMM) and hashing depending on the
+/// load. The hybrid should match AC-SpGEMM on highly sparse matrices and
+/// match nsparse on high-compaction dense ones — taking the best of both
+/// columns of Table 1.
+
+#include <iostream>
+
+#include "baselines/nsparse_like.hpp"
+#include "suite/bench_runner.hpp"
+#include "suite/hybrid.hpp"
+#include "suite/registry.hpp"
+#include "suite/table.hpp"
+
+int main() {
+  using namespace acs;
+  std::cout << "Hybrid extension: adaptive ESC/hashing dispatch "
+               "(paper Conclusion)\n\n";
+
+  AcSpgemmAlgorithm<double> ac;
+  NsparseLike<double> ns;
+  HybridSpgemm<double> hybrid;
+
+  TextTable table({"matrix", "avg len", "choice", "AC us", "nsparse us",
+                   "hybrid us", "hybrid vs best"});
+  CsvWriter csv("hybrid_extension.csv");
+  csv.write_row({"matrix", "avg_len", "choice", "ac_us", "nsparse_us",
+                 "hybrid_us", "hybrid_vs_best"});
+
+  int optimal = 0, total = 0;
+  double hybrid_sum = 0.0, best_sum = 0.0, ac_sum = 0.0;
+  for (const auto& entry : full_suite()) {
+    const auto r_ac = run_benchmark<double>(entry, ac);
+    const auto r_ns = run_benchmark<double>(entry, ns);
+    const auto r_hy = run_benchmark<double>(entry, hybrid);
+    const double best = std::min(r_ac.sim_time_s, r_ns.sim_time_s);
+    const char* choice =
+        hybrid.last_choice() == HybridSpgemm<double>::Choice::Hash ? "hash"
+                                                                   : "ESC";
+    ++total;
+    if (r_hy.sim_time_s <= 1.02 * best) ++optimal;
+    hybrid_sum += r_hy.sim_time_s;
+    best_sum += best;
+    ac_sum += r_ac.sim_time_s;
+
+    std::vector<std::string> row{
+        entry.name,
+        TextTable::num(r_ac.avg_row_len_a, 1),
+        choice,
+        TextTable::num(r_ac.sim_time_s * 1e6, 1),
+        TextTable::num(r_ns.sim_time_s * 1e6, 1),
+        TextTable::num(r_hy.sim_time_s * 1e6, 1),
+        TextTable::num(r_hy.sim_time_s / best, 2) + "x"};
+    table.add_row(row);
+    csv.write_row(row);
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "hybrid within 2% of the better of {AC, nsparse} on "
+            << optimal << "/" << total << " matrices\n";
+  std::cout << "total time: hybrid " << TextTable::num(hybrid_sum * 1e3, 2)
+            << " ms vs oracle-best " << TextTable::num(best_sum * 1e3, 2)
+            << " ms vs always-AC " << TextTable::num(ac_sum * 1e3, 2)
+            << " ms\nwrote hybrid_extension.csv\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// \file bench_restart_sweep.cpp
+/// Reproduces the Section 4.3 restart-cost experiment: the webbase-like
+/// matrix is multiplied with progressively smaller chunk pools, forcing
+/// more host round trips. The paper measured 22.0 / 23.6 / 24.5 / 26.6 /
+/// 30.8 / 39.7 / 48.6 ms for 0 / 3 / 5 / 10 / 21 / 42 / 63 restarts —
+/// i.e. graceful degradation; even at 63 restarts it still beat nsparse
+/// by 2x. The nsparse reference time is printed for the same comparison.
+
+#include <iostream>
+
+#include "baselines/nsparse_like.hpp"
+#include "core/acspgemm.hpp"
+#include "suite/suite.hpp"
+#include "suite/table.hpp"
+
+int main() {
+  using namespace acs;
+
+  const SuiteEntry* webbase = nullptr;
+  for (const auto& entry : showcase_suite())
+    if (entry.name == "webbase-like") webbase = &entry;
+  const auto a = build_matrix<double>(*webbase);
+
+  // Baseline run with the default (ample) pool.
+  SpgemmStats full;
+  multiply(a, a, Config{}, &full);
+  std::cout << "restart sweep on webbase-like (" << a.rows << "^2, "
+            << a.nnz() << " nnz)\n";
+  std::cout << "chunk memory actually needed: "
+            << full.pool_used_bytes / 1024 << " KB\n\n";
+
+  SpgemmStats ns;
+  nsparse_multiply(a, a, &ns);
+
+  TextTable table({"pool KB", "restarts", "sim ms", "slowdown vs 0 restarts",
+                   "vs nsparse"});
+  CsvWriter csv("restart_sweep.csv");
+  csv.write_row({"pool_kb", "restarts", "sim_ms", "slowdown", "vs_nsparse"});
+
+  // Sweep the pool from ample down to a small fraction of the needed size.
+  const double base_time = full.sim_time_s;
+  for (double fraction : {2.0, 1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625}) {
+    Config cfg;
+    cfg.pool_override_bytes = std::max<std::size_t>(
+        16 * 1024,
+        static_cast<std::size_t>(fraction *
+                                 static_cast<double>(full.pool_used_bytes)));
+    SpgemmStats stats;
+    multiply(a, a, cfg, &stats);
+    table.add_row({std::to_string(cfg.pool_override_bytes / 1024),
+                   std::to_string(stats.restarts),
+                   TextTable::num(stats.sim_time_s * 1e3, 3),
+                   TextTable::num(stats.sim_time_s / base_time, 2) + "x",
+                   TextTable::num(ns.sim_time_s / stats.sim_time_s, 2) + "x"});
+    csv.write_row({std::to_string(cfg.pool_override_bytes / 1024),
+                   std::to_string(stats.restarts),
+                   TextTable::num(stats.sim_time_s * 1e3, 4),
+                   TextTable::num(stats.sim_time_s / base_time, 3),
+                   TextTable::num(ns.sim_time_s / stats.sim_time_s, 3)});
+  }
+  std::cout << table.str();
+  std::cout << "\nnsparse reference: " << TextTable::num(ns.sim_time_s * 1e3, 3)
+            << " ms\nwrote restart_sweep.csv\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+/// \file graph_analytics.cpp
+/// Graph analytics via SpGEMM — the paper's data-analytics motivation
+/// (betweenness centrality [6], cycle detection [26]). On an R-MAT graph:
+///  * counts triangles with the masked product A·A (paths of length 2 that
+///    close into an edge), and
+///  * detects short directed cycles by checking diag(A·A) and diag(A·A·A),
+///    the Yuster–Zwick rectangular-product idea at power 2/3.
+///
+/// Run:  ./graph_analytics [scale] [edge_factor]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/acspgemm.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/stats.hpp"
+
+namespace {
+
+/// Symmetrize and clean an adjacency matrix: undirected simple graph with
+/// unit weights and no self loops.
+acs::Csr<double> to_undirected(const acs::Csr<double>& g) {
+  acs::Coo<double> coo;
+  coo.rows = g.rows;
+  coo.cols = g.cols;
+  for (acs::index_t r = 0; r < g.rows; ++r) {
+    for (acs::index_t k = g.row_ptr[r]; k < g.row_ptr[r + 1]; ++k) {
+      const acs::index_t c = g.col_idx[k];
+      if (c == r) continue;
+      coo.push(r, c, 1.0);
+      coo.push(c, r, 1.0);
+    }
+  }
+  auto csr = coo.to_csr();
+  for (auto& v : csr.values) v = 1.0;  // collapse duplicate edges
+  return csr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 12;
+  const double ef = argc > 2 ? std::atof(argv[2]) : 8.0;
+
+  const auto directed = acs::gen_rmat<double>(scale, ef, 0.57, 0.19, 0.19, 11);
+  const auto a = to_undirected(directed);
+  std::cout << "graph: " << a.rows << " vertices, "
+            << a.nnz() / 2 << " undirected edges\n";
+
+  // --- Triangle counting: sum over edges (u,v) of (A·A)[u][v], i.e. the
+  // number of length-2 paths u→w→v closing each edge; every triangle is
+  // counted 6 times.
+  acs::SpgemmStats stats;
+  const auto a2 = acs::multiply(a, a, acs::Config{}, &stats);
+  double closed_wedges = 0.0;
+  for (acs::index_t r = 0; r < a.rows; ++r) {
+    acs::index_t ka = a.row_ptr[r], k2 = a2.row_ptr[r];
+    while (ka < a.row_ptr[r + 1] && k2 < a2.row_ptr[r + 1]) {
+      if (a.col_idx[ka] == a2.col_idx[k2]) {
+        closed_wedges += a2.values[k2];
+        ++ka;
+        ++k2;
+      } else if (a.col_idx[ka] < a2.col_idx[k2]) {
+        ++ka;
+      } else {
+        ++k2;
+      }
+    }
+  }
+  std::cout << "triangles: " << static_cast<long long>(closed_wedges / 6.0)
+            << "  (A*A simulated in " << stats.sim_time_s * 1e3 << " ms, "
+            << stats.gflops() << " GFLOPS)\n";
+
+  // --- Directed short cycles on the original graph: a non-zero k-th power
+  // diagonal entry means a length-k cycle through that vertex.
+  auto d2_cycles = 0, d3_cycles = 0;
+  const auto d2 = acs::multiply(directed, directed);
+  for (acs::index_t r = 0; r < d2.rows; ++r)
+    for (acs::index_t k = d2.row_ptr[r]; k < d2.row_ptr[r + 1]; ++k)
+      if (d2.col_idx[k] == r && d2.values[k] != 0.0) ++d2_cycles;
+  const auto d3 = acs::multiply(d2, directed);
+  for (acs::index_t r = 0; r < d3.rows; ++r)
+    for (acs::index_t k = d3.row_ptr[r]; k < d3.row_ptr[r + 1]; ++k)
+      if (d3.col_idx[k] == r && d3.values[k] != 0.0) ++d3_cycles;
+  std::cout << "vertices on directed 2-cycles: " << d2_cycles << "\n";
+  std::cout << "vertices on directed 3-cycles: " << d3_cycles << "\n";
+
+  // --- 2-hop neighbourhood statistics (the A*A sparsity pattern itself).
+  const auto s2 = acs::row_stats(a2);
+  std::cout << "2-hop neighbourhood size: avg " << s2.avg_len << ", max "
+            << s2.max_len << "\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+#pragma once
+/// \file algorithm.hpp
+/// Common interface for every SpGEMM implementation benchmarked in this
+/// repository — AC-SpGEMM and the five comparison strategies of the paper's
+/// evaluation (cuSPARSE-like dual hashing, bhSparse-like hybrid binning,
+/// RMerge-like iterative row merging, nsparse-like scratchpad hashing,
+/// Kokkos-like portable two-level hashing) plus the sequential Gustavson
+/// reference.
+
+#include <memory>
+#include <string>
+
+#include "matrix/csr.hpp"
+#include "sim/spgemm_stats.hpp"
+
+namespace acs {
+
+template <class T>
+class SpgemmAlgorithm {
+ public:
+  virtual ~SpgemmAlgorithm() = default;
+
+  /// Display name used in benchmark tables ("AC-SpGEMM", "nsparse", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Whether repeated runs produce bit-identical floating-point results
+  /// (the paper marks non-bit-stable methods with a dagger in Table 1).
+  [[nodiscard]] virtual bool bit_stable() const = 0;
+
+  /// Compute C = A·B; fills `stats` when non-null.
+  virtual Csr<T> multiply(const Csr<T>& a, const Csr<T>& b,
+                          SpgemmStats* stats = nullptr) const = 0;
+
+  /// For non-bit-stable methods: reseed the emulated hardware schedule that
+  /// decides accumulation order. Bit-stable methods ignore this.
+  virtual void set_schedule_seed(std::uint64_t) {}
+};
+
+}  // namespace acs

@@ -1,0 +1,35 @@
+#pragma once
+/// \file bhsparse.hpp
+/// bhSparse-style SpGEMM [Liu & Vinter 2015]: rows of C are grouped by
+/// their number of intermediate products and each group is processed by an
+/// adaptively selected method — trivial copy for 0/1-product rows, heap
+/// ESC in scratchpad for small rows, and an iterative global merge for rows
+/// beyond the scratchpad bound. Merge-based and deterministic: bit-stable.
+
+#include "baselines/algorithm.hpp"
+
+namespace acs {
+
+template <class T>
+Csr<T> bhsparse_multiply(const Csr<T>& a, const Csr<T>& b,
+                         SpgemmStats* stats = nullptr);
+
+template <class T>
+class BhSparse final : public SpgemmAlgorithm<T> {
+ public:
+  [[nodiscard]] std::string name() const override { return "bhSparse"; }
+  [[nodiscard]] bool bit_stable() const override { return true; }
+  Csr<T> multiply(const Csr<T>& a, const Csr<T>& b,
+                  SpgemmStats* stats) const override {
+    return bhsparse_multiply(a, b, stats);
+  }
+};
+
+extern template Csr<float> bhsparse_multiply(const Csr<float>&,
+                                             const Csr<float>&, SpgemmStats*);
+extern template Csr<double> bhsparse_multiply(const Csr<double>&,
+                                              const Csr<double>&, SpgemmStats*);
+extern template class BhSparse<float>;
+extern template class BhSparse<double>;
+
+}  // namespace acs

@@ -1,0 +1,45 @@
+#pragma once
+/// \file cusparse_like.hpp
+/// cuSPARSE-style SpGEMM (csrgemm): Demouth's dual hash-table scheme [2012]
+/// as used inside NVIDIA's library — a fixed-size primary hash table in
+/// scratchpad memory per row, with a secondary table in global memory for
+/// overflowing rows. No row analysis (fixed table sizes), so very long rows
+/// spill heavily to global memory. Accumulation order is
+/// scheduler-dependent: not bit-stable.
+
+#include <cstdint>
+
+#include "baselines/algorithm.hpp"
+
+namespace acs {
+
+template <class T>
+Csr<T> cusparse_like_multiply(const Csr<T>& a, const Csr<T>& b,
+                              SpgemmStats* stats = nullptr,
+                              std::uint64_t schedule_seed = 0);
+
+template <class T>
+class CusparseLike final : public SpgemmAlgorithm<T> {
+ public:
+  [[nodiscard]] std::string name() const override { return "cuSparse"; }
+  [[nodiscard]] bool bit_stable() const override { return false; }
+  Csr<T> multiply(const Csr<T>& a, const Csr<T>& b,
+                  SpgemmStats* stats) const override {
+    return cusparse_like_multiply(a, b, stats, seed_);
+  }
+  void set_schedule_seed(std::uint64_t seed) override { seed_ = seed; }
+
+ private:
+  std::uint64_t seed_ = 0;
+};
+
+extern template Csr<float> cusparse_like_multiply(const Csr<float>&,
+                                                  const Csr<float>&,
+                                                  SpgemmStats*, std::uint64_t);
+extern template Csr<double> cusparse_like_multiply(const Csr<double>&,
+                                                   const Csr<double>&,
+                                                   SpgemmStats*, std::uint64_t);
+extern template class CusparseLike<float>;
+extern template class CusparseLike<double>;
+
+}  // namespace acs

@@ -1,0 +1,68 @@
+#pragma once
+/// \file detail.hpp
+/// Shared helpers for the baseline SpGEMM implementations: seeded
+/// permutation of accumulation order (emulating the scheduler-dependent
+/// accumulation of hash-based GPU kernels) and row-product gathering.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace acs::baseline_detail {
+
+/// One intermediate product of an output row.
+template <class T>
+struct Product {
+  index_t col;
+  T val;
+};
+
+/// Gather all intermediate products of output row `r` in Gustavson
+/// (A-entry) order.
+template <class T>
+void gather_row_products(const Csr<T>& a, const Csr<T>& b, index_t r,
+                         std::vector<Product<T>>& out) {
+  out.clear();
+  for (index_t ka = a.row_ptr[r]; ka < a.row_ptr[r + 1]; ++ka) {
+    const index_t k = a.col_idx[ka];
+    const T av = a.values[ka];
+    for (index_t kb = b.row_ptr[k]; kb < b.row_ptr[k + 1]; ++kb)
+      out.push_back({b.col_idx[kb], av * b.values[kb]});
+  }
+}
+
+/// SplitMix64 step — deterministic per-row schedule randomization.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Permute the accumulation order of a row's products. Seed 0 keeps the
+/// deterministic Gustavson order; any other seed emulates a different
+/// hardware schedule, changing the floating-point result of hash-based
+/// accumulation — the non-bit-stable behaviour the paper's daggers mark.
+template <class T>
+void permute_schedule(std::vector<Product<T>>& prods, std::uint64_t seed,
+                      index_t row) {
+  if (seed == 0 || prods.size() < 2) return;
+  std::uint64_t state = splitmix64(seed ^ (0x517CC1B727220A95ull *
+                                           static_cast<std::uint64_t>(row + 1)));
+  for (std::size_t i = prods.size() - 1; i > 0; --i) {
+    state = splitmix64(state);
+    const std::size_t j = static_cast<std::size_t>(state % (i + 1));
+    std::swap(prods[i], prods[j]);
+  }
+}
+
+/// Next power of two >= x (minimum 1).
+inline std::size_t next_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace acs::baseline_detail

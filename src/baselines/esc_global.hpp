@@ -1,0 +1,38 @@
+#pragma once
+/// \file esc_global.hpp
+/// CUSP-style global ESC SpGEMM [Bell, Dalton, Olson 2012]: expand *all*
+/// intermediate products to global memory, sort them globally by (row,
+/// column), and compress. The strategy the paper describes as achieving
+/// "excellent load balancing at the cost of high intermediate memory" —
+/// every temporary product makes a full round trip through slow global
+/// memory, and the device-wide radix sort runs at the full static key width.
+/// Deterministic (stable sort), hence bit-stable.
+
+#include "baselines/algorithm.hpp"
+
+namespace acs {
+
+template <class T>
+Csr<T> esc_global_multiply(const Csr<T>& a, const Csr<T>& b,
+                           SpgemmStats* stats = nullptr);
+
+template <class T>
+class EscGlobal final : public SpgemmAlgorithm<T> {
+ public:
+  [[nodiscard]] std::string name() const override { return "ESC-global"; }
+  [[nodiscard]] bool bit_stable() const override { return true; }
+  Csr<T> multiply(const Csr<T>& a, const Csr<T>& b,
+                  SpgemmStats* stats) const override {
+    return esc_global_multiply(a, b, stats);
+  }
+};
+
+extern template Csr<float> esc_global_multiply(const Csr<float>&,
+                                               const Csr<float>&, SpgemmStats*);
+extern template Csr<double> esc_global_multiply(const Csr<double>&,
+                                                const Csr<double>&,
+                                                SpgemmStats*);
+extern template class EscGlobal<float>;
+extern template class EscGlobal<double>;
+
+}  // namespace acs

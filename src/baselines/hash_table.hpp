@@ -1,0 +1,90 @@
+#pragma once
+/// \file hash_table.hpp
+/// Open-addressing (linear probing) accumulator table used by the
+/// hash-based baselines (cuSPARSE-like, nsparse-like, Kokkos-like). Probe
+/// counts are reported so each method's cost model sees its real hashing
+/// work.
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace acs::baseline_detail {
+
+template <class T>
+class HashAccumulator {
+ public:
+  /// `slots` must be a power of two.
+  explicit HashAccumulator(std::size_t slots)
+      : mask_(slots - 1), keys_(slots, kEmpty), vals_(slots, T{}) {}
+
+  /// Insert-or-accumulate; returns the number of probe steps taken.
+  /// Returns 0 probes and sets `overflow` if the table is full.
+  std::size_t accumulate(index_t col, T val, bool& overflow) {
+    std::size_t h = hash(col);
+    for (std::size_t probes = 1;; ++probes) {
+      if (keys_[h] == col) {
+        vals_[h] += val;
+        return probes;
+      }
+      if (keys_[h] == kEmpty) {
+        keys_[h] = col;
+        vals_[h] = val;
+        ++size_;
+        return probes;
+      }
+      if (probes > mask_) {
+        overflow = true;
+        return probes;
+      }
+      h = (h + 1) & mask_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t slots() const { return mask_ + 1; }
+
+  /// Extract (col, val) pairs sorted by column.
+  void extract_sorted(std::vector<index_t>& cols, std::vector<T>& vals) const;
+
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmpty);
+    size_ = 0;
+  }
+
+ private:
+  static constexpr index_t kEmpty = -1;
+  [[nodiscard]] std::size_t hash(index_t col) const {
+    // Multiplicative hashing, the scheme of Demouth's GPU kernels.
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(col)) *
+            2654435761u) &
+           mask_;
+  }
+
+  std::size_t mask_;
+  std::size_t size_ = 0;
+  std::vector<index_t> keys_;
+  std::vector<T> vals_;
+};
+
+template <class T>
+void HashAccumulator<T>::extract_sorted(std::vector<index_t>& cols,
+                                        std::vector<T>& vals) const {
+  std::vector<std::pair<index_t, T>> entries;
+  entries.reserve(size_);
+  for (std::size_t i = 0; i <= mask_; ++i)
+    if (keys_[i] != kEmpty) entries.emplace_back(keys_[i], vals_[i]);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  cols.clear();
+  vals.clear();
+  for (const auto& [c, v] : entries) {
+    cols.push_back(c);
+    vals.push_back(v);
+  }
+}
+
+}  // namespace acs::baseline_detail

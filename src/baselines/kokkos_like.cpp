@@ -1,0 +1,164 @@
+#include "baselines/kokkos_like.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "baselines/detail.hpp"
+#include "baselines/hash_table.hpp"
+#include "matrix/stats.hpp"
+#include "sim/cost_model.hpp"
+
+namespace acs {
+namespace {
+
+/// First-level (scratchpad) table slots per team.
+constexpr std::size_t kL1Slots = 1024;
+
+}  // namespace
+
+template <class T>
+Csr<T> kokkos_like_multiply(const Csr<T>& a, const Csr<T>& b,
+                            SpgemmStats* stats, std::uint64_t schedule_seed) {
+  if (a.cols != b.rows)
+    throw std::invalid_argument("kokkos_like: dimension mismatch");
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::DeviceConfig dev{};
+
+  // --- Setup: hierarchical partitioning + B compression pass (the fixed
+  // preprocessing that hurts on small/very sparse inputs).
+  sim::MetricCounters setup;
+  setup.global_bytes_coalesced +=
+      static_cast<std::uint64_t>(b.nnz()) * (sizeof(index_t) + sizeof(T)) +
+      static_cast<std::uint64_t>(a.nnz()) * sizeof(index_t);
+  setup.scan_elements +=
+      static_cast<std::uint64_t>(a.rows) + static_cast<std::uint64_t>(b.rows);
+  setup.compute_ops += static_cast<std::uint64_t>(b.nnz());
+
+  Csr<T> c;
+  c.rows = a.rows;
+  c.cols = b.cols;
+  c.row_ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+  std::vector<std::vector<index_t>> row_cols(static_cast<std::size_t>(a.rows));
+  std::vector<std::vector<T>> row_vals(static_cast<std::size_t>(a.rows));
+
+  std::vector<sim::MetricCounters> blocks;
+  sim::MetricCounters bm;
+  std::size_t rows_in_team = 0;
+  std::size_t l2_bytes = 0;
+  std::vector<baseline_detail::Product<T>> prods;
+
+  for (index_t r = 0; r < a.rows; ++r) {
+    baseline_detail::gather_row_products(a, b, r, prods);
+    if (prods.empty()) continue;
+    baseline_detail::permute_schedule(prods, schedule_seed, r);
+
+    const std::size_t upper = baseline_detail::next_pow2(2 * prods.size());
+    const bool needs_l2 = upper > kL1Slots;
+    baseline_detail::HashAccumulator<T> table(needs_l2 ? upper : kL1Slots);
+    bool overflow = false;
+    std::uint64_t probes = 0;
+    for (const auto& p : prods) probes += table.accumulate(p.col, p.val, overflow);
+    table.extract_sorted(row_cols[static_cast<std::size_t>(r)],
+                         row_vals[static_cast<std::size_t>(r)]);
+    c.row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<index_t>(
+        row_cols[static_cast<std::size_t>(r)].size());
+
+    bm.hash_probes += 2 * probes;
+    // Symbolic reads column ids, numeric reads ids + values.
+    bm.global_bytes_coalesced += static_cast<std::uint64_t>(prods.size()) *
+                                 (2 * sizeof(index_t) + sizeof(T));
+    bm.global_bytes_scattered +=
+        32 * static_cast<std::uint64_t>(a.row_length(r));
+    // Per-team first-level table initialization + team bookkeeping
+    // (hierarchical partitioning, view handling) — the fixed per-row
+    // overhead behind Kokkos' weak very-sparse results.
+    bm.scratch_ops += 2 * kL1Slots;
+    bm.compute_ops += 1000;
+    if (needs_l2) {
+      // Second-level table in global memory, temporarily claimed; tables
+      // are sized to the row, so probes stay largely cache-resident.
+      bm.global_bytes_coalesced += probes * 6;
+      bm.atomic_ops += 2;
+      l2_bytes = std::max(l2_bytes, upper * (sizeof(index_t) + sizeof(T)));
+    } else {
+      bm.scratch_ops += 2 * probes;
+    }
+    bm.flops += 2 * static_cast<std::uint64_t>(prods.size());
+    const auto out_n = static_cast<std::uint64_t>(
+        row_cols[static_cast<std::size_t>(r)].size());
+    bm.compute_ops += out_n * 4;
+    bm.global_bytes_coalesced += out_n * (sizeof(index_t) + sizeof(T));
+
+    if (++rows_in_team == 8) {
+      blocks.push_back(bm);
+      bm = {};
+      rows_in_team = 0;
+    }
+  }
+  if (rows_in_team > 0) blocks.push_back(bm);
+
+  for (index_t r = 0; r < a.rows; ++r)
+    c.row_ptr[static_cast<std::size_t>(r) + 1] += c.row_ptr[r];
+  for (index_t r = 0; r < a.rows; ++r) {
+    c.col_idx.insert(c.col_idx.end(), row_cols[static_cast<std::size_t>(r)].begin(),
+                     row_cols[static_cast<std::size_t>(r)].end());
+    c.values.insert(c.values.end(), row_vals[static_cast<std::size_t>(r)].begin(),
+                    row_vals[static_cast<std::size_t>(r)].end());
+  }
+
+  if (stats) {
+    *stats = SpgemmStats{};
+    stats->intermediate_products = intermediate_products(a, b);
+    {
+      std::vector<sim::MetricCounters> setup_blocks(std::max<std::size_t>(
+          1, static_cast<std::size_t>(b.rows) / 256));
+      for (auto& m : setup_blocks) {
+        m = setup;
+        m.global_bytes_coalesced /= setup_blocks.size();
+        m.scan_elements /= setup_blocks.size();
+        m.compute_ops /= setup_blocks.size();
+      }
+      const auto t = sim::schedule_blocks(setup_blocks, dev);
+      stats->stage_times_s.emplace_back("setup", t.time_s);
+      stats->sim_time_s += t.time_s;
+      for (const auto& m : setup_blocks) stats->metrics += m;
+    }
+    // Symbolic and numeric are separate kernels over the same team list
+    // (the probe/traffic work above covers both), plus the view-allocation
+    // and compression launches the portable implementation pays.
+    {
+      const auto t = sim::schedule_blocks(blocks, dev);
+      stats->stage_times_s.emplace_back("hash-passes", t.time_s);
+      stats->sim_time_s += t.time_s;
+      if (blocks.size() >= static_cast<std::size_t>(dev.num_sms))
+        stats->multiprocessor_load =
+            std::min(stats->multiprocessor_load, t.multiprocessor_load);
+    }
+    for (const char* pass :
+         {"symbolic", "alloc-views", "compress-launch", "partition-1",
+          "partition-2", "scan-1", "scan-2", "scatter", "cleanup",
+          "finalize"}) {
+      stats->stage_times_s.emplace_back(pass, dev.kernel_launch_us * 1e-6);
+      stats->sim_time_s += dev.kernel_launch_us * 1e-6;
+    }
+    for (const auto& m : blocks) stats->metrics += m;
+    stats->pool_bytes = l2_bytes * static_cast<std::size_t>(dev.num_sms);
+    stats->pool_used_bytes = stats->pool_bytes;
+    stats->helper_bytes =
+        static_cast<std::size_t>(a.rows + b.rows) * 2 * sizeof(index_t);
+    stats->wall_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return c;
+}
+
+template Csr<float> kokkos_like_multiply(const Csr<float>&, const Csr<float>&,
+                                         SpgemmStats*, std::uint64_t);
+template Csr<double> kokkos_like_multiply(const Csr<double>&,
+                                          const Csr<double>&, SpgemmStats*,
+                                          std::uint64_t);
+template class KokkosLike<float>;
+template class KokkosLike<double>;
+
+}  // namespace acs

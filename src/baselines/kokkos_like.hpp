@@ -1,0 +1,46 @@
+#pragma once
+/// \file kokkos_like.hpp
+/// Kokkos-kernels-style SpGEMM [Deveci, Trott, Rajamanickam 2017/2018]
+/// ("kkmem"): portable team-based two-level hashing — a first-level hash in
+/// scratchpad per team, a second-level table in global memory that is
+/// temporarily claimed and reclaimed — combined with hierarchical
+/// partitioning of the work. Symbolic and numeric phases are separate
+/// kernels with substantial fixed setup, which is why the method trails on
+/// very sparse inputs. Atomic accumulation order: not bit-stable.
+
+#include <cstdint>
+
+#include "baselines/algorithm.hpp"
+
+namespace acs {
+
+template <class T>
+Csr<T> kokkos_like_multiply(const Csr<T>& a, const Csr<T>& b,
+                            SpgemmStats* stats = nullptr,
+                            std::uint64_t schedule_seed = 0);
+
+template <class T>
+class KokkosLike final : public SpgemmAlgorithm<T> {
+ public:
+  [[nodiscard]] std::string name() const override { return "Kokkos"; }
+  [[nodiscard]] bool bit_stable() const override { return false; }
+  Csr<T> multiply(const Csr<T>& a, const Csr<T>& b,
+                  SpgemmStats* stats) const override {
+    return kokkos_like_multiply(a, b, stats, seed_);
+  }
+  void set_schedule_seed(std::uint64_t seed) override { seed_ = seed; }
+
+ private:
+  std::uint64_t seed_ = 0;
+};
+
+extern template Csr<float> kokkos_like_multiply(const Csr<float>&,
+                                                const Csr<float>&,
+                                                SpgemmStats*, std::uint64_t);
+extern template Csr<double> kokkos_like_multiply(const Csr<double>&,
+                                                 const Csr<double>&,
+                                                 SpgemmStats*, std::uint64_t);
+extern template class KokkosLike<float>;
+extern template class KokkosLike<double>;
+
+}  // namespace acs

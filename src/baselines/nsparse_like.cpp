@@ -1,0 +1,238 @@
+#include "baselines/nsparse_like.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "baselines/detail.hpp"
+#include "baselines/hash_table.hpp"
+#include "matrix/stats.hpp"
+#include "sim/block_primitives.hpp"
+#include "sim/cost_model.hpp"
+
+namespace acs {
+namespace {
+
+using baseline_detail::HashAccumulator;
+using baseline_detail::next_pow2;
+using baseline_detail::Product;
+
+/// nsparse's row bins: scratchpad tables up to 8192 slots, global beyond.
+constexpr std::size_t kMaxScratchSlots = 8192;
+
+}  // namespace
+
+template <class T>
+Csr<T> nsparse_multiply(const Csr<T>& a, const Csr<T>& b, SpgemmStats* stats,
+                        std::uint64_t schedule_seed) {
+  if (a.cols != b.rows)
+    throw std::invalid_argument("nsparse: dimension mismatch");
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::DeviceConfig dev{};
+
+  // --- Row analysis (the costly load-balancing step the paper quotes at up
+  // to 30% of runtime on very sparse inputs): count intermediate products
+  // per row, prefix-scan the bin sizes, scatter row ids into bins. Three
+  // kernel launches on the device.
+  const auto per_row = intermediate_products_per_row(a, b);
+  sim::MetricCounters count_m, scan_m, scatter_m;
+  count_m.global_bytes_coalesced +=
+      static_cast<std::uint64_t>(a.nnz()) * sizeof(index_t);
+  count_m.global_bytes_scattered +=
+      static_cast<std::uint64_t>(a.nnz()) * 2 * sizeof(index_t);
+  scan_m.scan_elements += static_cast<std::uint64_t>(a.rows);
+  scan_m.global_bytes_coalesced +=
+      2 * static_cast<std::uint64_t>(a.rows) * sizeof(index_t);
+  scatter_m.global_bytes_scattered +=
+      static_cast<std::uint64_t>(a.rows) * sizeof(index_t);
+  scatter_m.atomic_ops += static_cast<std::uint64_t>(a.rows);
+
+  // Bin rows by symbolic table size (the product count is an upper bound on
+  // the distinct columns, so a table of next_pow2(products) slots has load
+  // factor <= 1 and usually far less).
+  std::vector<std::vector<index_t>> bins;
+  for (index_t r = 0; r < a.rows; ++r) {
+    const offset_t prods = per_row[static_cast<std::size_t>(r)];
+    if (prods == 0) continue;
+    const std::size_t slots = std::max<std::size_t>(
+        32, next_pow2(static_cast<std::size_t>(prods)));
+    std::size_t bin = 0;
+    for (std::size_t s = 32; s < slots; s <<= 1) ++bin;
+    if (bins.size() <= bin) bins.resize(bin + 1);
+    bins[bin].push_back(r);
+  }
+
+  Csr<T> c;
+  c.rows = a.rows;
+  c.cols = b.cols;
+  c.row_ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+  std::vector<std::vector<index_t>> row_cols(static_cast<std::size_t>(a.rows));
+  std::vector<std::vector<T>> row_vals(static_cast<std::size_t>(a.rows));
+
+  // --- Two kernels per non-empty bin (symbolic, then numeric with tables
+  // sized to the now-known row nnz — almost always back in scratchpad, the
+  // key advantage on high-compaction matrices).
+  std::vector<std::pair<std::string, std::vector<sim::MetricCounters>>> kernels;
+  std::vector<Product<T>> prods;
+  std::size_t global_table_bytes = 0;
+  for (std::size_t bin = 0; bin < bins.size(); ++bin) {
+    if (bins[bin].empty()) continue;
+    const std::size_t sym_slots = std::size_t{32} << bin;
+    const bool sym_global = sym_slots > kMaxScratchSlots;
+    std::vector<sim::MetricCounters> sym_blocks, num_blocks;
+    const std::size_t rows_per_block = std::max<std::size_t>(
+        1, static_cast<std::size_t>(dev.threads_per_block) * 4 / sym_slots);
+
+    sim::MetricCounters sym, num;
+    std::size_t rows_in_block = 0;
+    for (index_t r : bins[bin]) {
+      baseline_detail::gather_row_products(a, b, r, prods);
+      baseline_detail::permute_schedule(prods, schedule_seed, r);
+
+      // Symbolic: column ids only, count distinct.
+      HashAccumulator<T> sym_table(sym_slots);
+      bool overflow = false;
+      std::uint64_t sym_probes = 0;
+      for (const auto& p : prods)
+        sym_probes += sym_table.accumulate(p.col, T{}, overflow);
+      const std::size_t row_nnz = sym_table.size();
+      sym.global_bytes_coalesced +=
+          static_cast<std::uint64_t>(prods.size()) * sizeof(index_t);
+      sym.global_bytes_scattered +=
+          8 * static_cast<std::uint64_t>(a.row_length(r));
+      sym.hash_probes += sym_probes;
+      // Per-row warp management: bin lookup, cooperative table init
+      // barriers, output-cursor atomics.
+      sym.compute_ops += 150;
+      if (sym_global) {
+        // Global tables at low occupancy stay L2-resident; charge
+        // bandwidth-rate traffic rather than fully scattered sectors.
+        sym.global_bytes_coalesced += sym_probes * sizeof(index_t) / 2;
+        global_table_bytes += sym_slots * sizeof(index_t);
+      } else {
+        sym.scratch_ops += sym_probes + sym_slots;  // probes + table init
+      }
+
+      // Numeric: table sized to the row's actual nnz.
+      const std::size_t num_slots = std::max<std::size_t>(
+          32, next_pow2(2 * std::max<std::size_t>(row_nnz, 1)));
+      const bool num_global = num_slots > kMaxScratchSlots;
+      HashAccumulator<T> num_table(num_slots);
+      std::uint64_t num_probes = 0;
+      for (const auto& p : prods)
+        num_probes += num_table.accumulate(p.col, p.val, overflow);
+      num_table.extract_sorted(row_cols[static_cast<std::size_t>(r)],
+                               row_vals[static_cast<std::size_t>(r)]);
+      c.row_ptr[static_cast<std::size_t>(r) + 1] =
+          static_cast<index_t>(row_nnz);
+
+      num.global_bytes_coalesced += static_cast<std::uint64_t>(prods.size()) *
+                                    (sizeof(index_t) + sizeof(T));
+      num.global_bytes_scattered +=
+          8 * static_cast<std::uint64_t>(a.row_length(r));
+      num.hash_probes += num_probes;
+      num.compute_ops += 150;
+      if (num_global) {
+        num.global_bytes_coalesced +=
+            num_probes * (sizeof(index_t) + sizeof(T));
+        global_table_bytes += num_slots * (sizeof(index_t) + sizeof(T));
+      } else {
+        num.scratch_ops += num_probes + num_slots;
+      }
+      num.flops += 2 * static_cast<std::uint64_t>(prods.size());
+      // Output sort (bitonic over the table contents) + write-out.
+      const auto out_n = static_cast<std::uint64_t>(row_nnz);
+      num.sort_pass_elements +=
+          out_n * static_cast<std::uint64_t>(
+                      std::max(1, sim::bits_for(out_n) / 2));
+      num.global_bytes_coalesced += out_n * (sizeof(index_t) + sizeof(T));
+
+      if (++rows_in_block == rows_per_block) {
+        sym_blocks.push_back(sym);
+        num_blocks.push_back(num);
+        sym = num = {};
+        rows_in_block = 0;
+      }
+    }
+    if (rows_in_block > 0) {
+      sym_blocks.push_back(sym);
+      num_blocks.push_back(num);
+    }
+    kernels.emplace_back("bin" + std::to_string(bin) + "-sym",
+                         std::move(sym_blocks));
+    kernels.emplace_back("bin" + std::to_string(bin) + "-num",
+                         std::move(num_blocks));
+  }
+
+  // Assemble C.
+  for (index_t r = 0; r < a.rows; ++r)
+    c.row_ptr[static_cast<std::size_t>(r) + 1] += c.row_ptr[r];
+  c.col_idx.reserve(static_cast<std::size_t>(c.row_ptr[a.rows]));
+  c.values.reserve(static_cast<std::size_t>(c.row_ptr[a.rows]));
+  for (index_t r = 0; r < a.rows; ++r) {
+    c.col_idx.insert(c.col_idx.end(), row_cols[static_cast<std::size_t>(r)].begin(),
+                     row_cols[static_cast<std::size_t>(r)].end());
+    c.values.insert(c.values.end(), row_vals[static_cast<std::size_t>(r)].begin(),
+                    row_vals[static_cast<std::size_t>(r)].end());
+  }
+
+  if (stats) {
+    *stats = SpgemmStats{};
+    stats->intermediate_products = intermediate_products(a, b);
+    const auto record = [&](const char* name, const sim::MetricCounters& m,
+                            std::size_t nblocks) {
+      std::vector<sim::MetricCounters> blocks(std::max<std::size_t>(nblocks, 1));
+      for (auto& bm : blocks) {
+        bm = m;
+        bm.global_bytes_coalesced /= blocks.size();
+        bm.global_bytes_scattered /= blocks.size();
+        bm.scan_elements /= blocks.size();
+        bm.atomic_ops /= blocks.size();
+      }
+      const auto t = sim::schedule_blocks(blocks, dev);
+      stats->stage_times_s.emplace_back(name, t.time_s);
+      stats->sim_time_s += t.time_s;
+      for (const auto& bm : blocks) stats->metrics += bm;
+    };
+    const auto row_blocks = static_cast<std::size_t>(a.rows) /
+                                static_cast<std::size_t>(dev.threads_per_block) +
+                            1;
+    record("analysis-count", count_m,
+           static_cast<std::size_t>(a.nnz()) /
+                   static_cast<std::size_t>(dev.threads_per_block) +
+               1);
+    record("analysis-scan", scan_m, row_blocks);
+    record("analysis-scatter", scatter_m, row_blocks);
+    // Bin boundaries are resolved on the host: a device->host copy plus a
+    // synchronization before the bin kernels can launch.
+    for (const char* sync : {"analysis-d2h", "analysis-sync"}) {
+      stats->stage_times_s.emplace_back(sync, dev.kernel_launch_us * 1e-6);
+      stats->sim_time_s += dev.kernel_launch_us * 1e-6;
+    }
+    for (auto& [name, blocks] : kernels) {
+      const auto t = sim::schedule_blocks(blocks, dev);
+      stats->stage_times_s.emplace_back(name, t.time_s);
+      stats->sim_time_s += t.time_s;
+      for (const auto& bm : blocks) stats->metrics += bm;
+      if (blocks.size() >= static_cast<std::size_t>(dev.num_sms))
+        stats->multiprocessor_load =
+            std::min(stats->multiprocessor_load, t.multiprocessor_load);
+    }
+    stats->pool_bytes = global_table_bytes;
+    stats->pool_used_bytes = global_table_bytes;
+    stats->helper_bytes =
+        static_cast<std::size_t>(a.rows) * 2 * sizeof(index_t);
+    stats->wall_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return c;
+}
+
+template Csr<float> nsparse_multiply(const Csr<float>&, const Csr<float>&,
+                                     SpgemmStats*, std::uint64_t);
+template Csr<double> nsparse_multiply(const Csr<double>&, const Csr<double>&,
+                                      SpgemmStats*, std::uint64_t);
+template class NsparseLike<float>;
+template class NsparseLike<double>;
+
+}  // namespace acs

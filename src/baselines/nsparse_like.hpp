@@ -1,0 +1,47 @@
+#pragma once
+/// \file nsparse_like.hpp
+/// nsparse-style hash SpGEMM [Nagasaka, Nukada, Matsuoka 2017]: rows are
+/// grouped by their intermediate-product count so hash tables of matching
+/// size can be built in scratchpad memory, with a global-memory table for
+/// rows beyond the largest bin. A symbolic pass sizes C, a numeric pass
+/// fills it. The row analysis is the load-balancing cost the paper says can
+/// reach 30% of runtime for very sparse matrices; the hash accumulation
+/// order depends on the hardware scheduler, so results are not bit-stable
+/// (emulated here with a seeded schedule permutation).
+
+#include <cstdint>
+
+#include "baselines/algorithm.hpp"
+
+namespace acs {
+
+template <class T>
+Csr<T> nsparse_multiply(const Csr<T>& a, const Csr<T>& b,
+                        SpgemmStats* stats = nullptr,
+                        std::uint64_t schedule_seed = 0);
+
+template <class T>
+class NsparseLike final : public SpgemmAlgorithm<T> {
+ public:
+  [[nodiscard]] std::string name() const override { return "nsparse"; }
+  [[nodiscard]] bool bit_stable() const override { return false; }
+  Csr<T> multiply(const Csr<T>& a, const Csr<T>& b,
+                  SpgemmStats* stats) const override {
+    return nsparse_multiply(a, b, stats, seed_);
+  }
+  void set_schedule_seed(std::uint64_t seed) override { seed_ = seed; }
+
+ private:
+  std::uint64_t seed_ = 0;
+};
+
+extern template Csr<float> nsparse_multiply(const Csr<float>&,
+                                            const Csr<float>&, SpgemmStats*,
+                                            std::uint64_t);
+extern template Csr<double> nsparse_multiply(const Csr<double>&,
+                                             const Csr<double>&, SpgemmStats*,
+                                             std::uint64_t);
+extern template class NsparseLike<float>;
+extern template class NsparseLike<double>;
+
+}  // namespace acs

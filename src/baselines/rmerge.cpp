@@ -1,0 +1,224 @@
+#include "baselines/rmerge.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "matrix/stats.hpp"
+#include "sim/block_primitives.hpp"
+#include "sim/cost_model.hpp"
+
+namespace acs {
+namespace {
+
+template <class T>
+index_t max_row_length(const Csr<T>& m) {
+  index_t mx = 0;
+  for (index_t r = 0; r < m.rows; ++r) mx = std::max(mx, m.row_length(r));
+  return mx;
+}
+
+/// Factor `m` = hi · lo where lo's rows are groups of at most K consecutive
+/// entries of m (carrying the values) and hi's rows reference their groups
+/// with unit coefficients. hi has ceil(len/K) entries per row.
+template <class T>
+std::pair<Csr<T>, Csr<T>> split_factor(const Csr<T>& m, index_t k) {
+  Csr<T> hi, lo;
+  index_t groups = 0;
+  hi.rows = m.rows;
+  hi.row_ptr.assign(static_cast<std::size_t>(m.rows) + 1, 0);
+  for (index_t r = 0; r < m.rows; ++r) {
+    const index_t len = m.row_length(r);
+    const index_t g = divup(len, k);
+    groups += g;
+    hi.row_ptr[static_cast<std::size_t>(r) + 1] = groups;
+  }
+  hi.cols = groups;
+  hi.col_idx.resize(static_cast<std::size_t>(groups));
+  hi.values.assign(static_cast<std::size_t>(groups), T{1});
+  for (index_t g = 0; g < groups; ++g) hi.col_idx[static_cast<std::size_t>(g)] = g;
+
+  lo.rows = groups;
+  lo.cols = m.cols;
+  lo.row_ptr.assign(static_cast<std::size_t>(groups) + 1, 0);
+  lo.col_idx.reserve(m.col_idx.size());
+  lo.values.reserve(m.values.size());
+  index_t g = 0;
+  for (index_t r = 0; r < m.rows; ++r) {
+    for (index_t off = m.row_ptr[r]; off < m.row_ptr[r + 1]; off += k) {
+      const index_t end = std::min(m.row_ptr[r + 1], off + k);
+      for (index_t i = off; i < end; ++i) {
+        lo.col_idx.push_back(m.col_idx[i]);
+        lo.values.push_back(m.values[i]);
+      }
+      ++g;
+      lo.row_ptr[static_cast<std::size_t>(g)] =
+          static_cast<index_t>(lo.col_idx.size());
+    }
+  }
+  return {std::move(hi), std::move(lo)};
+}
+
+/// One merge pass: f has at most K entries per row; every output row is a
+/// K-way merge of rows of x, performed in fast memory. Returns the product
+/// and charges one kernel's metrics.
+template <class T>
+Csr<T> merge_pass(const Csr<T>& f, const Csr<T>& x, int k,
+                  std::vector<sim::MetricCounters>& blocks) {
+  Csr<T> out;
+  out.rows = f.rows;
+  out.cols = x.cols;
+  out.row_ptr.assign(static_cast<std::size_t>(f.rows) + 1, 0);
+
+  const auto merge_levels = static_cast<std::uint64_t>(
+      std::max(1, sim::bits_for(static_cast<std::uint64_t>(k))));
+  sim::MetricCounters bm;
+  std::size_t rows_in_block = 0;
+  std::vector<std::pair<index_t, T>> buf;
+  for (index_t r = 0; r < f.rows; ++r) {
+    buf.clear();
+    for (index_t ka = f.row_ptr[r]; ka < f.row_ptr[r + 1]; ++ka) {
+      const index_t src = f.col_idx[ka];
+      const T fv = f.values[ka];
+      for (index_t kb = x.row_ptr[src]; kb < x.row_ptr[src + 1]; ++kb)
+        buf.emplace_back(x.col_idx[kb], fv * x.values[kb]);
+      // Each lane streams one source row: the per-lane streams are
+      // sequential but mutually scattered, so a quarter of the traffic
+      // misses coalescing.
+      bm.global_bytes_coalesced += static_cast<std::uint64_t>(
+                                       x.row_length(src)) *
+                                   (sizeof(index_t) + sizeof(T));
+      bm.global_bytes_scattered += static_cast<std::uint64_t>(
+                                       x.row_length(src)) *
+                                   (sizeof(index_t) + sizeof(T)) / 2;
+      bm.global_bytes_scattered += 64;  // row pointer + first-sector fetch
+    }
+    std::stable_sort(buf.begin(), buf.end(),
+                     [](const auto& p, const auto& q) { return p.first < q.first; });
+    for (std::size_t i = 0; i < buf.size();) {
+      std::size_t j = i;
+      T sum{};
+      while (j < buf.size() && buf[j].first == buf[i].first) sum += buf[j++].second;
+      out.col_idx.push_back(buf[i].first);
+      out.values.push_back(sum);
+      i = j;
+    }
+    out.row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<index_t>(out.col_idx.size());
+    // Register merge network: ~3 ops (compare/select/shuffle) per element
+    // per merge level, and a whole warp is occupied per output row — rows
+    // with fewer products than lanes still pay the full warp (the
+    // underutilization behind RMerge's weak very-sparse results).
+    const auto padded =
+        std::max<std::uint64_t>(static_cast<std::uint64_t>(buf.size()), 32);
+    bm.compute_ops += 3 * padded * merge_levels;
+    bm.global_bytes_scattered += 2 * sizeof(index_t);  // row pointer lookups
+    bm.flops += 2 * static_cast<std::uint64_t>(buf.size());
+    bm.global_bytes_coalesced +=
+        static_cast<std::uint64_t>(out.row_length(r)) *
+        (sizeof(index_t) + sizeof(T));
+    if (++rows_in_block == 8) {
+      blocks.push_back(bm);
+      bm = {};
+      rows_in_block = 0;
+    }
+  }
+  if (rows_in_block > 0) blocks.push_back(bm);
+  return out;
+}
+
+}  // namespace
+
+template <class T>
+Csr<T> rmerge_multiply(const Csr<T>& a, const Csr<T>& b, SpgemmStats* stats,
+                       int merge_width) {
+  if (a.cols != b.rows)
+    throw std::invalid_argument("rmerge: dimension mismatch");
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::DeviceConfig dev{};
+  const auto k = static_cast<index_t>(merge_width);
+
+  // Factor A = hi_n · lo_n · ... · lo_1 with every factor's rows <= K.
+  std::vector<Csr<T>> factors_lo;
+  Csr<T> cur = a;
+  std::size_t pool = 0;
+  while (max_row_length(cur) > k) {
+    auto [hi, lo] = split_factor(cur, k);
+    pool += lo.byte_size() + hi.byte_size();
+    factors_lo.push_back(std::move(lo));
+    cur = std::move(hi);
+  }
+
+  // Evaluate right-to-left: x = lo_1 · b, then lo_2 · x, ..., then hi_n · x.
+  SpgemmStats local;
+  SpgemmStats& s = stats ? *stats : local;
+  s = SpgemmStats{};
+  auto run_pass = [&](const Csr<T>& f, const Csr<T>& x, const char* name) {
+    std::vector<sim::MetricCounters> blocks;
+    Csr<T> out = merge_pass(f, x, merge_width, blocks);
+    // Symbolic count pass: the output size of every merged row must be
+    // known before the merge kernel can run — one more sweep over the
+    // source rows (column ids only), then a scan and an allocation sync.
+    sim::MetricCounters count;
+    count.global_bytes_coalesced +=
+        static_cast<std::uint64_t>(intermediate_products(f, x)) *
+        sizeof(index_t);
+    count.global_bytes_scattered +=
+        static_cast<std::uint64_t>(intermediate_products(f, x)) *
+            sizeof(index_t) / 2 +
+        static_cast<std::uint64_t>(f.nnz()) * 32;
+    count.scan_elements += static_cast<std::uint64_t>(f.rows);
+    {
+      auto count_blocks = std::vector<sim::MetricCounters>(
+          std::max<std::size_t>(1, static_cast<std::size_t>(f.rows) / 8));
+      for (auto& m : count_blocks) {
+        m = count;
+        m.global_bytes_coalesced /= count_blocks.size();
+        m.global_bytes_scattered /= count_blocks.size();
+        m.scan_elements /= count_blocks.size();
+      }
+      const auto t = sim::schedule_blocks(count_blocks, dev);
+      s.stage_times_s.emplace_back(std::string(name) + "-count", t.time_s);
+      s.sim_time_s += t.time_s;
+      for (const auto& m : count_blocks) s.metrics += m;
+    }
+    for (const char* extra : {"-scan", "-alloc"}) {
+      s.stage_times_s.emplace_back(std::string(name) + extra,
+                                   dev.kernel_launch_us * 1e-6);
+      s.sim_time_s += dev.kernel_launch_us * 1e-6;
+    }
+    const auto t = sim::schedule_blocks(blocks, dev);
+    s.stage_times_s.emplace_back(name, t.time_s);
+    s.sim_time_s += t.time_s;
+    for (const auto& m : blocks) s.metrics += m;
+    if (blocks.size() >= static_cast<std::size_t>(dev.num_sms))
+      s.multiprocessor_load = std::min(s.multiprocessor_load, t.multiprocessor_load);
+    return out;
+  };
+
+  // A = cur · lo_n · ... · lo_1 with lo_1 created first (rightmost factor).
+  Csr<T> x = b;
+  for (const Csr<T>& lo : factors_lo) {
+    x = run_pass(lo, x, "merge-lo");
+    pool += x.byte_size();  // intermediate result in global memory
+  }
+  Csr<T> c = run_pass(cur, x, "merge-final");
+
+  s.intermediate_products = intermediate_products(a, b);
+  s.pool_bytes = pool;
+  s.pool_used_bytes = pool;
+  s.helper_bytes = static_cast<std::size_t>(a.rows) * sizeof(index_t);
+  s.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return c;
+}
+
+template Csr<float> rmerge_multiply(const Csr<float>&, const Csr<float>&,
+                                    SpgemmStats*, int);
+template Csr<double> rmerge_multiply(const Csr<double>&, const Csr<double>&,
+                                     SpgemmStats*, int);
+template class RMerge<float>;
+template class RMerge<double>;
+
+}  // namespace acs

@@ -1,0 +1,39 @@
+#pragma once
+/// \file rmerge.hpp
+/// RMerge-style SpGEMM [Gremse et al. 2015]: iterative row merging. A is
+/// factored into matrices whose rows have at most K entries (K = the merge
+/// width the GPU can handle in fast memory); the product is then evaluated
+/// right-to-left, each pass merging at most K sorted rows per output row
+/// entirely in registers/scratchpad. Every pass materializes an
+/// intermediate matrix in global memory — the strategy's cost on matrices
+/// with long rows of A. Merge order is data-independent: bit-stable.
+
+#include "baselines/algorithm.hpp"
+
+namespace acs {
+
+template <class T>
+Csr<T> rmerge_multiply(const Csr<T>& a, const Csr<T>& b,
+                       SpgemmStats* stats = nullptr, int merge_width = 32);
+
+template <class T>
+class RMerge final : public SpgemmAlgorithm<T> {
+ public:
+  [[nodiscard]] std::string name() const override { return "RMerge"; }
+  [[nodiscard]] bool bit_stable() const override { return true; }
+  Csr<T> multiply(const Csr<T>& a, const Csr<T>& b,
+                  SpgemmStats* stats) const override {
+    return rmerge_multiply(a, b, stats);
+  }
+};
+
+extern template Csr<float> rmerge_multiply(const Csr<float>&,
+                                           const Csr<float>&, SpgemmStats*,
+                                           int);
+extern template Csr<double> rmerge_multiply(const Csr<double>&,
+                                            const Csr<double>&, SpgemmStats*,
+                                            int);
+extern template class RMerge<float>;
+extern template class RMerge<double>;
+
+}  // namespace acs

@@ -1,0 +1,94 @@
+#include "baselines/spa_gustavson.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "matrix/stats.hpp"
+
+namespace acs {
+
+template <class T>
+Csr<T> spa_multiply(const Csr<T>& a, const Csr<T>& b, SpgemmStats* stats) {
+  if (a.cols != b.rows)
+    throw std::invalid_argument("spa: dimension mismatch (A.cols != B.rows)");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Csr<T> c;
+  c.rows = a.rows;
+  c.cols = b.cols;
+  c.row_ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+
+  // Symbolic pass: count distinct columns per output row with a marker SPA.
+  std::vector<index_t> marker(static_cast<std::size_t>(b.cols), -1);
+  offset_t total = 0;
+  for (index_t r = 0; r < a.rows; ++r) {
+    index_t count = 0;
+    for (index_t ka = a.row_ptr[r]; ka < a.row_ptr[r + 1]; ++ka) {
+      const index_t k = a.col_idx[ka];
+      for (index_t kb = b.row_ptr[k]; kb < b.row_ptr[k + 1]; ++kb) {
+        const index_t col = b.col_idx[kb];
+        if (marker[static_cast<std::size_t>(col)] != r) {
+          marker[static_cast<std::size_t>(col)] = r;
+          ++count;
+        }
+      }
+    }
+    total += count;
+    c.row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<index_t>(total);
+  }
+
+  c.col_idx.resize(static_cast<std::size_t>(total));
+  c.values.resize(static_cast<std::size_t>(total));
+
+  // Numeric pass: dense accumulator, entries emitted in first-touch order,
+  // then sorted per row. Accumulation order is A-row order — deterministic,
+  // but a *different* deterministic order than AC-SpGEMM's, so comparisons
+  // between the two use a tolerance (or exactly representable values).
+  std::vector<T> accum(static_cast<std::size_t>(b.cols), T{});
+  std::fill(marker.begin(), marker.end(), -1);
+  std::vector<index_t> touched;
+  for (index_t r = 0; r < a.rows; ++r) {
+    touched.clear();
+    for (index_t ka = a.row_ptr[r]; ka < a.row_ptr[r + 1]; ++ka) {
+      const index_t k = a.col_idx[ka];
+      const T av = a.values[ka];
+      for (index_t kb = b.row_ptr[k]; kb < b.row_ptr[k + 1]; ++kb) {
+        const index_t col = b.col_idx[kb];
+        if (marker[static_cast<std::size_t>(col)] != r) {
+          marker[static_cast<std::size_t>(col)] = r;
+          accum[static_cast<std::size_t>(col)] = av * b.values[kb];
+          touched.push_back(col);
+        } else {
+          accum[static_cast<std::size_t>(col)] += av * b.values[kb];
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    index_t out = c.row_ptr[r];
+    for (index_t col : touched) {
+      c.col_idx[static_cast<std::size_t>(out)] = col;
+      c.values[static_cast<std::size_t>(out)] =
+          accum[static_cast<std::size_t>(col)];
+      ++out;
+    }
+  }
+
+  if (stats) {
+    *stats = SpgemmStats{};
+    stats->intermediate_products = intermediate_products(a, b);
+    stats->wall_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    stats->sim_time_s = stats->wall_time_s;  // CPU reference: measured time
+  }
+  return c;
+}
+
+template Csr<float> spa_multiply(const Csr<float>&, const Csr<float>&,
+                                 SpgemmStats*);
+template Csr<double> spa_multiply(const Csr<double>&, const Csr<double>&,
+                                  SpgemmStats*);
+template class SpaGustavson<float>;
+template class SpaGustavson<double>;
+
+}  // namespace acs

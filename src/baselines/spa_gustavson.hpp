@@ -1,0 +1,35 @@
+#pragma once
+/// \file spa_gustavson.hpp
+/// Sequential Gustavson SpGEMM with a dense sparse-accumulator (SPA) — the
+/// classical CPU algorithm [Gustavson 1978] all parallel methods descend
+/// from, and this repository's correctness oracle. Two passes: a symbolic
+/// pass counts nnz per output row, a numeric pass fills the entries.
+
+#include "baselines/algorithm.hpp"
+
+namespace acs {
+
+/// Plain-function form used by tests and other baselines.
+template <class T>
+Csr<T> spa_multiply(const Csr<T>& a, const Csr<T>& b,
+                    SpgemmStats* stats = nullptr);
+
+template <class T>
+class SpaGustavson final : public SpgemmAlgorithm<T> {
+ public:
+  [[nodiscard]] std::string name() const override { return "SPA-CPU"; }
+  [[nodiscard]] bool bit_stable() const override { return true; }
+  Csr<T> multiply(const Csr<T>& a, const Csr<T>& b,
+                  SpgemmStats* stats) const override {
+    return spa_multiply(a, b, stats);
+  }
+};
+
+extern template Csr<float> spa_multiply(const Csr<float>&, const Csr<float>&,
+                                        SpgemmStats*);
+extern template Csr<double> spa_multiply(const Csr<double>&,
+                                         const Csr<double>&, SpgemmStats*);
+extern template class SpaGustavson<float>;
+extern template class SpaGustavson<double>;
+
+}  // namespace acs

@@ -1,0 +1,464 @@
+#include "core/acspgemm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/esc_block.hpp"
+#include "core/merge.hpp"
+#include "matrix/stats.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/scratchpad.hpp"
+
+namespace acs {
+namespace {
+
+/// Split an aggregate metric set into `count` identical per-block shares —
+/// used for uniform utility kernels (load balancing, scans, chunk copy).
+std::vector<sim::MetricCounters> uniform_blocks(std::size_t count,
+                                                const sim::MetricCounters& total) {
+  if (count == 0) return {};
+  sim::MetricCounters share;
+  const auto div = static_cast<std::uint64_t>(count);
+  share.global_bytes_coalesced = total.global_bytes_coalesced / div;
+  share.global_bytes_scattered = total.global_bytes_scattered / div;
+  share.scratch_ops = total.scratch_ops / div;
+  share.sort_pass_elements = total.sort_pass_elements / div;
+  share.scan_elements = total.scan_elements / div;
+  share.hash_probes = total.hash_probes / div;
+  share.atomic_ops = total.atomic_ops / div;
+  share.flops = total.flops / div;
+  share.compute_ops = total.compute_ops / div;
+  return std::vector<sim::MetricCounters>(count, share);
+}
+
+template <class T>
+class Pipeline {
+ public:
+  Pipeline(const Csr<T>& a, const Csr<T>& b, const Config& cfg,
+           SpgemmStats& stats)
+      : a_(a),
+        b_(b),
+        cfg_(cfg),
+        stats_(stats),
+        scheduler_(cfg.scheduler_threads),
+        initial_pool_(estimate_chunk_pool_bytes(a, b, cfg)),
+        pool_(initial_pool_) {
+    validate();
+  }
+
+  Csr<T> run() {
+    stats_.intermediate_products = intermediate_products(a_, b_);
+    global_load_balance();
+    esc_stage();
+    register_segments();
+    merge_stage();
+    Csr<T> c = chunk_copy();
+    finalize_stats();
+    return c;
+  }
+
+ private:
+  void validate() const {
+    if (a_.cols != b_.rows)
+      throw std::invalid_argument("acspgemm: dimension mismatch (A.cols != B.rows)");
+    if (cfg_.validate_inputs) {
+      if (const auto err = a_.validate(); !err.empty())
+        throw std::invalid_argument("acspgemm: invalid A: " + err);
+      if (const auto err = b_.validate(); !err.empty())
+        throw std::invalid_argument("acspgemm: invalid B: " + err);
+    }
+    if (cfg_.threads <= 0 || cfg_.nnz_per_block <= 0 ||
+        cfg_.elements_per_thread <= 0)
+      throw std::invalid_argument("acspgemm: non-positive block configuration");
+    if (cfg_.retain_per_thread < 0 ||
+        cfg_.retain_per_thread >= cfg_.elements_per_thread)
+      throw std::invalid_argument(
+          "acspgemm: retain_per_thread must be in [0, elements_per_thread)");
+    if (cfg_.temp_capacity() > 32767)
+      throw std::invalid_argument(
+          "acspgemm: temp capacity exceeds the 15-bit compaction counters");
+    // The paper's claim that the working set fits in on-chip memory,
+    // enforced: keys + values + WDState + scan states must fit.
+    sim::Scratchpad pad(static_cast<std::size_t>(cfg_.device.scratchpad_bytes));
+    const auto cap = static_cast<std::size_t>(cfg_.temp_capacity());
+    pad.allocate<std::uint64_t>(cap);                                   // keys
+    pad.allocate<T>(cap);                                               // values
+    pad.allocate<offset_t>(static_cast<std::size_t>(cfg_.nnz_per_block) + 1);
+    pad.allocate<std::uint32_t>(cap);                                   // states
+  }
+
+  /// Record one simulated kernel: schedule its blocks, account the stage
+  /// time, aggregate metrics, and track the lowest multiprocessor load over
+  /// device-filling kernels.
+  void record_stage(const char* name,
+                    const std::vector<sim::MetricCounters>& blocks) {
+    const sim::KernelTiming t = sim::schedule_blocks(blocks, cfg_.device);
+    stats_.stage_times_s.emplace_back(name, t.time_s);
+    stats_.sim_time_s += t.time_s;
+    for (const auto& bm : blocks) stats_.metrics += bm;
+    // Track the lowest load over device-filling kernels only (Table 3's
+    // mpL): kernels with fewer blocks than resident slots trivially leave
+    // SMs idle and say nothing about load balancing quality.
+    const auto resident = static_cast<std::size_t>(
+        2 * cfg_.device.num_sms * cfg_.device.blocks_per_sm);
+    if (blocks.size() >= resident)
+      stats_.multiprocessor_load =
+          std::min(stats_.multiprocessor_load, t.multiprocessor_load);
+  }
+
+  // --- Stage 1: global load balancing (Algorithm 1). -----------------------
+  void global_load_balance() {
+    num_blocks_ = static_cast<std::size_t>(
+        divup<offset_t>(a_.nnz(), cfg_.nnz_per_block));
+    block_row_starts_.assign(num_blocks_, 0);
+    // Sequential equivalent of Algorithm 1's one-thread-per-row pass.
+    for (index_t row = 0; row < a_.rows; ++row) {
+      const offset_t lo = a_.row_ptr[row];
+      const offset_t hi = a_.row_ptr[static_cast<std::size_t>(row) + 1];
+      if (lo == hi) continue;
+      offset_t blk = divup<offset_t>(lo, cfg_.nnz_per_block);
+      const offset_t blk_end = (hi - 1) / cfg_.nnz_per_block;
+      for (; blk <= blk_end; ++blk)
+        block_row_starts_[static_cast<std::size_t>(blk)] = row;
+    }
+    sim::MetricCounters m;
+    m.global_bytes_coalesced =
+        (static_cast<std::uint64_t>(a_.rows) + num_blocks_) * sizeof(index_t);
+    m.scan_elements = static_cast<std::uint64_t>(a_.rows);
+    record_stage("GLB",
+                 uniform_blocks(divup<std::size_t>(
+                                    std::max<std::size_t>(
+                                        static_cast<std::size_t>(a_.rows), 1),
+                                    static_cast<std::size_t>(cfg_.threads)),
+                                m));
+  }
+
+  // --- Stage 2: adaptive chunk-based ESC with restarts. --------------------
+  void esc_stage() {
+    block_states_.assign(num_blocks_, BlockState{});
+    std::vector<std::size_t> pending(num_blocks_);
+    for (std::size_t i = 0; i < num_blocks_; ++i) pending[i] = i;
+
+    while (!pending.empty()) {
+      std::vector<EscBlockResult<T>> results(pending.size());
+      scheduler_.for_each_block(pending.size(), [&](std::size_t i) {
+        results[i] = run_esc_block<T>(a_, b_, block_row_starts_, pending[i],
+                                      cfg_, pool_, block_states_[pending[i]]);
+      });
+
+      std::vector<sim::MetricCounters> launch_metrics;
+      launch_metrics.reserve(results.size());
+      std::vector<std::size_t> failed;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        launch_metrics.push_back(results[i].metrics);
+        stats_.esc_iterations += static_cast<std::size_t>(results[i].iterations);
+        for (auto& chunk : results[i].chunks) {
+          if (chunk.is_long_row) ++stats_.long_row_chunks;
+          chunks_.push_back(std::move(chunk));
+        }
+        if (results[i].needs_restart) failed.push_back(pending[i]);
+      }
+      record_stage("ESC", launch_metrics);
+
+      if (!failed.empty()) {
+        ++stats_.restarts;
+        pool_.grow(std::max<std::size_t>(initial_pool_, std::size_t{64} << 10));
+      }
+      pending = std::move(failed);
+    }
+  }
+
+  // --- Build per-row segment lists and row counters from the chunks. -------
+  void register_segments() {
+    // Deterministic global chunk order (block id, per-block counter); the
+    // paper sorts the scheduler-ordered lists by this key before merging.
+    std::sort(chunks_.begin(), chunks_.end(),
+              [](const Chunk<T>& x, const Chunk<T>& y) { return x.order < y.order; });
+
+    segments_.assign(static_cast<std::size_t>(a_.rows), {});
+    row_nnz_.assign(static_cast<std::size_t>(a_.rows), 0);
+    for (std::size_t ci = 0; ci < chunks_.size(); ++ci) {
+      const Chunk<T>& chunk = chunks_[ci];
+      if (chunk.is_long_row) {
+        segments_[static_cast<std::size_t>(chunk.rows[0])].push_back(
+            {ci, 0, chunk.long_len, chunk.order});
+        row_nnz_[static_cast<std::size_t>(chunk.rows[0])] += chunk.long_len;
+        continue;
+      }
+      for (std::size_t r = 0; r < chunk.rows.size(); ++r) {
+        const index_t len = chunk.row_offsets[r + 1] - chunk.row_offsets[r];
+        segments_[static_cast<std::size_t>(chunk.rows[r])].push_back(
+            {ci, chunk.row_offsets[r], len, chunk.order});
+        row_nnz_[static_cast<std::size_t>(chunk.rows[r])] += len;
+      }
+    }
+  }
+
+  // --- Stage 3: merge assignment + Multi/Path/Search merge. ----------------
+  void merge_stage() {
+    std::vector<index_t> shared_rows;
+    for (index_t r = 0; r < a_.rows; ++r)
+      if (segments_[static_cast<std::size_t>(r)].size() >= 2)
+        shared_rows.push_back(r);
+    stats_.merged_rows = shared_rows.size();
+
+    // Merge-case assignment (Fig. 7's "MCC"): one prefix scan over the
+    // shared rows using the summed row counts. No launch when no row needs
+    // merging.
+    if (shared_rows.empty()) {
+      stats_.stage_times_s.emplace_back("MCC", 0.0);
+    } else {
+      sim::MetricCounters m;
+      m.scan_elements = shared_rows.size();
+      m.global_bytes_coalesced = shared_rows.size() * 2 * sizeof(index_t);
+      record_stage("MCC",
+                   uniform_blocks(divup<std::size_t>(shared_rows.size(),
+                                      static_cast<std::size_t>(cfg_.threads)),
+                                  m));
+    }
+
+    const auto capacity = static_cast<offset_t>(cfg_.temp_capacity());
+    std::vector<MergeBatch> multi, path, search;
+    MergeBatch current;
+    offset_t current_total = 0;
+    auto flush_multi = [&] {
+      if (!current.rows.empty()) {
+        multi.push_back(std::move(current));
+        current = {};
+        current_total = 0;
+      }
+    };
+    for (index_t row : shared_rows) {
+      auto& segs = segments_[static_cast<std::size_t>(row)];
+      const offset_t total = row_nnz_[static_cast<std::size_t>(row)];
+      if (segs.size() == 2 && total <= capacity) {
+        if (current_total + total > capacity) flush_multi();
+        current.rows.push_back(row);
+        current.segments.push_back(segs);
+        current_total += total;
+      } else if (segs.size() <=
+                 static_cast<std::size_t>(cfg_.path_merge_max_chunks)) {
+        path.push_back({{row}, {segs}});
+      } else {
+        search.push_back({{row}, {segs}});
+      }
+    }
+    flush_multi();
+
+    run_merge_kind("MM", MergeKind::Multi, multi);
+    run_merge_kind("PM", MergeKind::Path, path);
+    run_merge_kind("SM", MergeKind::Search, search);
+  }
+
+  void run_merge_kind(const char* stage, MergeKind kind,
+                      const std::vector<MergeBatch>& batches) {
+    if (batches.empty()) {
+      // No kernel launch when there is nothing to merge.
+      stats_.stage_times_s.emplace_back(stage, 0.0);
+      return;
+    }
+    std::vector<std::size_t> windows_done(batches.size(), 0);
+    std::vector<bool> done(batches.size(), false);
+    std::vector<std::size_t> pending(batches.size());
+    for (std::size_t i = 0; i < batches.size(); ++i) pending[i] = i;
+
+    // Order keys for merged chunks live past the ESC block-id range.
+    const auto order_base = static_cast<std::uint32_t>(num_blocks_ + 1);
+
+    while (!pending.empty()) {
+      std::vector<MergeOutcome<T>> results(pending.size());
+      scheduler_.for_each_block(pending.size(), [&](std::size_t i) {
+        const std::size_t t = pending[i];
+        results[i] = run_merge_block<T>(
+            batches[t], chunks_, b_, cfg_, pool_, kind, windows_done[t],
+            order_base + static_cast<std::uint32_t>(t));
+      });
+
+      std::vector<sim::MetricCounters> launch_metrics;
+      std::vector<std::size_t> failed;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const std::size_t t = pending[i];
+        launch_metrics.push_back(results[i].metrics);
+        // Append the new chunks and retarget the merged rows' segments.
+        std::vector<std::size_t> new_ids;
+        for (auto& chunk : results[i].chunks) {
+          new_ids.push_back(chunks_.size());
+          chunks_.push_back(std::move(chunk));
+        }
+        if (windows_done[t] == 0 && !new_ids.empty()) {
+          // First successful windows of this task: clear old segments.
+          for (index_t row : batches[t].rows) {
+            segments_[static_cast<std::size_t>(row)].clear();
+            row_nnz_[static_cast<std::size_t>(row)] = 0;
+          }
+        }
+        for (std::size_t ci : new_ids) {
+          const Chunk<T>& chunk = chunks_[ci];
+          for (std::size_t r = 0; r < chunk.rows.size(); ++r) {
+            const index_t len =
+                chunk.row_offsets[r + 1] - chunk.row_offsets[r];
+            segments_[static_cast<std::size_t>(chunk.rows[r])].push_back(
+                {ci, chunk.row_offsets[r], len, chunk.order});
+            row_nnz_[static_cast<std::size_t>(chunk.rows[r])] += len;
+          }
+        }
+        windows_done[t] += new_ids.size();
+        if (!results[i].needs_restart) done[t] = true;
+        else failed.push_back(t);
+      }
+      record_stage(stage, launch_metrics);
+
+      if (!failed.empty()) {
+        ++stats_.restarts;
+        pool_.grow(std::max<std::size_t>(initial_pool_, std::size_t{64} << 10));
+      }
+      pending = std::move(failed);
+    }
+  }
+
+  // --- Stage 4: output matrix allocation and chunk copy. -------------------
+  Csr<T> chunk_copy() {
+    Csr<T> c;
+    c.rows = a_.rows;
+    c.cols = b_.cols;
+    c.row_ptr.assign(static_cast<std::size_t>(a_.rows) + 1, 0);
+    offset_t total = 0;
+    for (index_t r = 0; r < a_.rows; ++r) {
+      total += row_nnz_[static_cast<std::size_t>(r)];
+      c.row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<index_t>(total);
+    }
+    if (total > std::numeric_limits<index_t>::max())
+      throw std::length_error("acspgemm: output exceeds 32-bit index range");
+    c.col_idx.resize(static_cast<std::size_t>(total));
+    c.values.resize(static_cast<std::size_t>(total));
+
+    sim::MetricCounters m;
+    m.scan_elements += static_cast<std::uint64_t>(a_.rows);  // row-ptr scan
+    m.global_bytes_coalesced +=
+        static_cast<std::uint64_t>(a_.rows) * sizeof(index_t) * 2;
+
+    // One copy block per live chunk (the paper: "each chunk uses a complete
+    // block of threads to copy data in a coalesced fashion").
+    std::vector<bool> chunk_live(chunks_.size(), false);
+    for (index_t r = 0; r < a_.rows; ++r) {
+      auto& segs = segments_[static_cast<std::size_t>(r)];
+      index_t out = c.row_ptr[r];
+      for (const RowSegment& seg : segs) {
+        const Chunk<T>& chunk = chunks_[seg.chunk];
+        chunk_live[seg.chunk] = true;
+        if (chunk.is_long_row) {
+          // Unshared long row: materialize factor × row of B directly.
+          const index_t start = b_.row_ptr[chunk.b_row];
+          for (index_t i = 0; i < chunk.long_len; ++i) {
+            c.col_idx[static_cast<std::size_t>(out + i)] =
+                b_.col_idx[static_cast<std::size_t>(start + i)];
+            c.values[static_cast<std::size_t>(out + i)] =
+                chunk.factor * b_.values[static_cast<std::size_t>(start + i)];
+          }
+          m.flops += 2 * static_cast<std::uint64_t>(chunk.long_len);
+          m.global_bytes_coalesced +=
+              2 * static_cast<std::uint64_t>(chunk.long_len) *
+              (sizeof(index_t) + sizeof(T));
+        } else {
+          for (index_t i = 0; i < seg.length; ++i) {
+            c.col_idx[static_cast<std::size_t>(out + i)] =
+                chunk.cols[static_cast<std::size_t>(seg.begin + i)];
+            c.values[static_cast<std::size_t>(out + i)] =
+                chunk.vals[static_cast<std::size_t>(seg.begin + i)];
+          }
+          m.global_bytes_coalesced +=
+              2 * static_cast<std::uint64_t>(seg.length) *
+              (sizeof(index_t) + sizeof(T));
+        }
+        out += seg.length;
+      }
+    }
+    const auto live_chunks = static_cast<std::size_t>(
+        std::count(chunk_live.begin(), chunk_live.end(), true));
+    record_stage("CC", uniform_blocks(std::max<std::size_t>(live_chunks, 1), m));
+    return c;
+  }
+
+  void finalize_stats() {
+    stats_.pool_bytes = pool_.capacity();
+    stats_.pool_used_bytes = pool_.used();
+    stats_.chunks_created = chunks_.size();
+    stats_.helper_bytes =
+        num_blocks_ * (sizeof(index_t) + 16) +       // blockRowStarts + restart info
+        static_cast<std::size_t>(a_.rows) *
+            (sizeof(index_t) + 8 + sizeof(index_t)) +  // row counters, list
+                                                       // heads, shared rows
+        chunks_.size() * 8;                            // chunk pointer array
+  }
+
+  const Csr<T>& a_;
+  const Csr<T>& b_;
+  const Config& cfg_;
+  SpgemmStats& stats_;
+  sim::BlockScheduler scheduler_;
+  std::size_t initial_pool_;
+  ChunkPool pool_;
+
+  std::size_t num_blocks_ = 0;
+  std::vector<index_t> block_row_starts_;
+  std::vector<BlockState> block_states_;
+  std::vector<Chunk<T>> chunks_;
+  std::vector<std::vector<RowSegment>> segments_;
+  std::vector<offset_t> row_nnz_;
+};
+
+}  // namespace
+
+template <class T>
+std::size_t estimate_chunk_pool_bytes(const Csr<T>& a, const Csr<T>& b,
+                                      const Config& cfg) {
+  if (cfg.pool_override_bytes > 0) return cfg.pool_override_bytes;
+  const double rows_a = std::max<double>(1.0, static_cast<double>(a.rows));
+  const double rows_b = std::max<double>(1.0, static_cast<double>(b.rows));
+  const double cols_b = std::max<double>(1.0, static_cast<double>(b.cols));
+  const double avg_a = static_cast<double>(a.nnz()) / rows_a;
+  const double avg_b = static_cast<double>(b.nnz()) / rows_b;
+  const double p_b = avg_b / cols_b;
+  // S ≈ nA · b · (1 - (1 - p_b)^a) / p_b, the expected nnz(C) if every row
+  // had the average number of uniformly distributed entries.
+  const double collision_scale =
+      p_b < 1e-12 ? avg_a
+                  : (1.0 - std::pow(1.0 - p_b, avg_a)) / p_b;
+  const double elements = rows_a * avg_b * collision_scale;
+  const double bytes = elements * (sizeof(index_t) + sizeof(T)) *
+                       cfg.pool_estimate_factor;
+  return std::max(cfg.pool_lower_bound_bytes,
+                  static_cast<std::size_t>(bytes));
+}
+
+template <class T>
+Csr<T> multiply(const Csr<T>& a, const Csr<T>& b, const Config& cfg,
+                SpgemmStats* stats) {
+  SpgemmStats local;
+  SpgemmStats& s = stats ? *stats : local;
+  s = SpgemmStats{};
+  const auto t0 = std::chrono::steady_clock::now();
+  Pipeline<T> pipeline(a, b, cfg, s);
+  Csr<T> c = pipeline.run();
+  s.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return c;
+}
+
+template Csr<float> multiply(const Csr<float>&, const Csr<float>&,
+                             const Config&, SpgemmStats*);
+template Csr<double> multiply(const Csr<double>&, const Csr<double>&,
+                              const Config&, SpgemmStats*);
+template std::size_t estimate_chunk_pool_bytes(const Csr<float>&,
+                                               const Csr<float>&,
+                                               const Config&);
+template std::size_t estimate_chunk_pool_bytes(const Csr<double>&,
+                                               const Csr<double>&,
+                                               const Config&);
+
+}  // namespace acs

@@ -1,0 +1,112 @@
+#pragma once
+/// \file chunk.hpp
+/// Chunk-based storage of partial results of C (Section 3.2.4). Each chunk
+/// holds the column ids and values of a contiguous set of output rows
+/// produced by one block, plus the per-row boundaries needed for the final
+/// copy. Long rows of B are represented by pointer chunks that reference
+/// the row of B and carry the scaling factor from A (Section 3.4). The pool
+/// tracks allocation against a fixed capacity; exhaustion triggers the
+/// restart mechanism.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace acs {
+
+/// Deterministic global chunk order: block id + per-block running chunk
+/// number, the paper's replacement for the scheduler-dependent linked-list
+/// insertion order ("which yields a global ordering of chunks").
+struct ChunkOrder {
+  std::uint32_t block = 0;
+  std::uint32_t counter = 0;
+
+  friend bool operator<(const ChunkOrder& a, const ChunkOrder& b) {
+    if (a.block != b.block) return a.block < b.block;
+    return a.counter < b.counter;
+  }
+  friend bool operator==(const ChunkOrder& a, const ChunkOrder& b) {
+    return a.block == b.block && a.counter == b.counter;
+  }
+};
+
+template <class T>
+struct Chunk {
+  /// Global row ids covered, ascending. Only the first and last can be
+  /// shared with other chunks; interior rows are complete.
+  std::vector<index_t> rows;
+  /// Entry offsets per covered row: row i owns [row_offsets[i],
+  /// row_offsets[i+1]) of cols/vals. Size rows.size()+1.
+  std::vector<index_t> row_offsets;
+  std::vector<index_t> cols;
+  std::vector<T> vals;
+  ChunkOrder order;
+
+  /// Long-row pointer chunk: no materialized data; the chunk stands for
+  /// `factor` times row `b_row` of B, which has `long_len` entries.
+  bool is_long_row = false;
+  index_t b_row = -1;
+  T factor{};
+  index_t long_len = 0;
+
+  [[nodiscard]] index_t entry_count() const {
+    return is_long_row ? long_len : static_cast<index_t>(cols.size());
+  }
+
+  /// Bytes charged against the chunk pool: header (start row, counts, list
+  /// link — 32 B as in the paper's layout), per-row boundaries, and the
+  /// column/value payload. Pointer chunks cost only the header.
+  [[nodiscard]] std::size_t byte_size() const {
+    if (is_long_row) return 48;
+    return 32 + rows.size() * sizeof(index_t) +
+           cols.size() * (sizeof(index_t) + sizeof(T));
+  }
+};
+
+/// Memory-accounting view of the chunk pool: a bump allocator with a hard
+/// capacity. `try_allocate` mirrors the GPU's atomic-counter increment; the
+/// actual storage lives in the Chunk objects (the simulator does not need
+/// the single flat arena, only its accounting behaviour).
+class ChunkPool {
+ public:
+  explicit ChunkPool(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Reserve `bytes`; false means the pool is exhausted (restart needed).
+  bool try_allocate(std::size_t bytes) {
+    const std::size_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
+    if (prev + bytes > capacity_.load(std::memory_order_relaxed)) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  /// Expand the pool ("as easy as adding another memory region").
+  void grow(std::size_t bytes) {
+    capacity_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t used() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> capacity_;
+  std::atomic<std::size_t> used_{0};
+};
+
+/// A row's reference to part of a chunk, used for merge detection and the
+/// final chunk copy. Segments of one row are combined in ChunkOrder.
+struct RowSegment {
+  std::size_t chunk = 0;   ///< index into the global chunk vector
+  index_t begin = 0;       ///< first entry of the row inside the chunk
+  index_t length = 0;      ///< entries of the row inside the chunk
+  ChunkOrder order;
+};
+
+}  // namespace acs

@@ -1,0 +1,146 @@
+#pragma once
+/// \file compaction.hpp
+/// The compaction step of local ESC: a single block-wide prefix scan with the
+/// paper's special packed-state operator (Algorithm 3) that simultaneously
+/// (1) combines values with equal sort keys, (2) counts compacted elements
+/// per row and (3) counts compacted elements overall — giving every element
+/// its position in the output chunk and its local offset in the row.
+///
+/// State-word layout (32 bits), matching Algorithm 3's constants:
+///   bit  0        end-of-combine-sequence flag
+///   bits 1..15    compacted elements in the current row (15-bit counter)
+///   bit 16        end-of-row flag
+///   bits 17..31   compacted elements overall (15-bit counter)
+/// Elements that end a combine sequence initialize both counters to 1
+/// ("end comp" = 0x00020003, "end row" = 0x00030003, "none" = 0).
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/sort_key.hpp"
+#include "matrix/types.hpp"
+#include "sim/metrics.hpp"
+
+namespace acs {
+
+namespace compaction_detail {
+
+constexpr std::uint32_t kFlagCombineEnd = 1u << 0;
+constexpr std::uint32_t kFlagRowEnd = 1u << 16;
+constexpr std::uint32_t kRowCountShift = 1;
+constexpr std::uint32_t kTotalCountShift = 17;
+constexpr std::uint32_t kCounterMask = 0x7FFF;
+constexpr std::uint32_t kStateEndComp = 0x00020003;
+constexpr std::uint32_t kStateEndRow = 0x00030003;
+
+/// One element of the scan: sort key, value, packed state.
+template <class T>
+struct ScanElement {
+  std::uint64_t key;
+  T value;
+  std::uint32_t state;
+};
+
+/// Algorithm 3's combine operator for adjacent elements a (left) and b
+/// (right). When b starts a new row, a's row counter must not leak into b,
+/// so the low half of a's state is cleared; a's flag bits are always cleared
+/// so that only per-element flags survive in b's state.
+template <class T>
+ScanElement<T> combine_scan_operator(const ScanElement<T>& a,
+                                     const ScanElement<T>& b,
+                                     const KeyCodec& codec) {
+  std::uint32_t state;
+  if (codec.same_row(a.key, b.key)) {
+    state = a.state & ~(kFlagCombineEnd | kFlagRowEnd);
+  } else {
+    state = a.state & 0xFFFE0000;  // reset row counter, keep total counter
+  }
+  ScanElement<T> n;
+  if (a.key == b.key) {
+    n.value = a.value + b.value;
+  } else {
+    n.value = b.value;
+  }
+  n.key = b.key;
+  n.state = state + b.state;
+  return n;
+}
+
+}  // namespace compaction_detail
+
+/// Result of compacting one sorted buffer.
+template <class T>
+struct CompactionOutput {
+  std::vector<std::uint64_t> keys;  ///< compacted keys, ascending
+  std::vector<T> vals;              ///< combined values
+  /// (local row id, compacted entries in that row), ascending by row.
+  std::vector<std::pair<index_t, index_t>> rows;
+};
+
+/// Compact a buffer sorted by `keys` (ascending): sum values of equal keys
+/// (left to right, preserving the deterministic accumulation order the
+/// paper's bit-stability rests on) and report per-row counts. Charges one
+/// block scan of the buffer to `m`.
+template <class T>
+CompactionOutput<T> compact_sorted(std::span<const std::uint64_t> keys,
+                                   std::span<const T> vals,
+                                   const KeyCodec& codec,
+                                   sim::MetricCounters& m) {
+  namespace cd = compaction_detail;
+  const std::size_t n = keys.size();
+  assert(vals.size() == n);
+  assert(n <= cd::kCounterMask);  // 15-bit counters must not overflow
+
+  CompactionOutput<T> out;
+  if (n == 0) return out;
+
+  // Initialize per-element states from neighbour comparisons — each thread
+  // does this for its own registers on the GPU.
+  std::vector<cd::ScanElement<T>> elems(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool combine_end = (i + 1 == n) || keys[i + 1] != keys[i];
+    const bool row_end =
+        (i + 1 == n) || !codec.same_row(keys[i + 1], keys[i]);
+    std::uint32_t state = 0;
+    if (row_end) {
+      state = cd::kStateEndRow;
+    } else if (combine_end) {
+      state = cd::kStateEndComp;
+    }
+    elems[i] = {keys[i], vals[i], state};
+  }
+
+  // Inclusive scan with the combine operator.
+  for (std::size_t i = 1; i < n; ++i)
+    elems[i] = cd::combine_scan_operator(elems[i - 1], elems[i], codec);
+  m.scan_elements += n;
+  m.scratch_ops += n;
+
+  // Extraction: combine-sequence ends are the compacted elements; row ends
+  // carry the per-row counts. Flags are re-derived from neighbours exactly
+  // as during initialization (on the GPU each thread still holds them).
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool combine_end = (i + 1 == n) || keys[i + 1] != keys[i];
+    const bool row_end =
+        (i + 1 == n) || !codec.same_row(keys[i + 1], keys[i]);
+    if (combine_end) {
+      const std::uint32_t pos =
+          ((elems[i].state >> cd::kTotalCountShift) & cd::kCounterMask) - 1;
+      assert(pos == out.keys.size());
+      (void)pos;
+      out.keys.push_back(elems[i].key);
+      out.vals.push_back(elems[i].value);
+    }
+    if (row_end) {
+      const auto row_count = static_cast<index_t>(
+          (elems[i].state >> cd::kRowCountShift) & cd::kCounterMask);
+      out.rows.emplace_back(codec.row_of(keys[i]), row_count);
+    }
+  }
+  return out;
+}
+
+}  // namespace acs

@@ -1,0 +1,65 @@
+#pragma once
+/// \file config.hpp
+/// Tuning parameters of AC-SpGEMM. Defaults follow the paper's evaluation
+/// setup: blocks of 256 threads handling 256 non-zeros of A, 8 sorted
+/// elements per thread, up to 4 retained elements per thread between local
+/// ESC iterations, a 1.2× chunk-pool estimate with a 100 MB lower bound.
+
+#include <cstddef>
+
+#include "matrix/types.hpp"
+#include "sim/device_config.hpp"
+
+namespace acs {
+
+struct Config {
+  /// Threads per simulated block.
+  int threads = 256;
+  /// Non-zeros of A assigned to each block by global load balancing
+  /// (paper: "block size of 256/512 non-zeros").
+  int nnz_per_block = 256;
+  /// Temporary products sorted per thread per ESC iteration (paper: 8).
+  int elements_per_thread = 8;
+  /// Compacted elements retained per thread between iterations (paper: up
+  /// to 4). Set to 0 to ablate multi-iteration ESC: every iteration then
+  /// flushes to global memory, the prior-work behaviour of Dalton et al.
+  int retain_per_thread = 4;
+  /// Dynamic sort-bit reduction (row dictionary + min/max column tracking,
+  /// Section 3.2.3). Off = static key width, the ablation baseline.
+  bool dynamic_bits = true;
+  /// Special handling of long rows of B (Section 3.4).
+  bool long_row_handling = true;
+  /// Rows of B at least this long become pointer chunks; 0 = auto
+  /// (= temp_capacity()).
+  index_t long_row_threshold = 0;
+  /// Path Merge handles rows with up to this many chunks; beyond that,
+  /// Search Merge takes over (Section 3.3).
+  int path_merge_max_chunks = 8;
+  /// Chunk-pool estimate multiplier (paper: 1.2 for metadata/divergence).
+  double pool_estimate_factor = 1.2;
+  /// Lower bound on the initial chunk pool (paper: 100 MB).
+  std::size_t pool_lower_bound_bytes = std::size_t{100} << 20;
+  /// Exact pool size override; 0 = use the estimate. Used by the restart
+  /// experiments of Section 4.3.
+  std::size_t pool_override_bytes = 0;
+  /// Host threads executing simulated blocks. 1 (default) is fully
+  /// deterministic including restart counts; >1 keeps results bit-identical
+  /// but the restart count may vary with interleaving.
+  unsigned scheduler_threads = 1;
+  /// Check the CSR invariants of both operands before multiplying (costs a
+  /// full pass; off by default like the GPU original).
+  bool validate_inputs = false;
+  /// Simulated device.
+  sim::DeviceConfig device{};
+
+  /// Temporary products held per block per ESC iteration.
+  [[nodiscard]] int temp_capacity() const { return threads * elements_per_thread; }
+  /// Maximum compacted elements carried to the next iteration.
+  [[nodiscard]] int retain_capacity() const { return threads * retain_per_thread; }
+  [[nodiscard]] index_t effective_long_row_threshold() const {
+    return long_row_threshold > 0 ? long_row_threshold
+                                  : static_cast<index_t>(temp_capacity());
+  }
+};
+
+}  // namespace acs

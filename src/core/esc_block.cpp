@@ -1,0 +1,311 @@
+#include "core/esc_block.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/compaction.hpp"
+#include "core/sort_key.hpp"
+#include "core/work_distribution.hpp"
+#include "sim/block_primitives.hpp"
+
+namespace acs {
+namespace {
+
+/// Build a chunk from a prefix of the compaction output.
+/// Rows [0, row_count) of `out` with their entries are materialized;
+/// `a_row` maps local row ids to global rows.
+template <class T>
+Chunk<T> build_chunk(const CompactionOutput<T>& out, std::size_t row_count,
+                     const KeyCodec& codec, std::span<const index_t> a_row,
+                     ChunkOrder order) {
+  Chunk<T> chunk;
+  chunk.order = order;
+  chunk.rows.reserve(row_count);
+  chunk.row_offsets.reserve(row_count + 1);
+  chunk.row_offsets.push_back(0);
+  index_t entries = 0;
+  for (std::size_t i = 0; i < row_count; ++i) {
+    chunk.rows.push_back(a_row[static_cast<std::size_t>(out.rows[i].first)]);
+    entries += out.rows[i].second;
+    chunk.row_offsets.push_back(entries);
+  }
+  chunk.cols.reserve(entries);
+  chunk.vals.reserve(entries);
+  for (index_t e = 0; e < entries; ++e) {
+    chunk.cols.push_back(codec.col_of(out.keys[static_cast<std::size_t>(e)]));
+    chunk.vals.push_back(out.vals[static_cast<std::size_t>(e)]);
+  }
+  return chunk;
+}
+
+/// Atomic traffic of committing one chunk: pool allocation, per-row nnz
+/// counter updates, and the two list-head insertions (first and last row).
+inline void charge_chunk_write(sim::MetricCounters& m, std::size_t bytes,
+                               std::size_t rows_in_chunk) {
+  m.global_bytes_coalesced += bytes;
+  m.atomic_ops += 1 + rows_in_chunk + 2;
+}
+
+}  // namespace
+
+template <class T>
+EscBlockResult<T> run_esc_block(const Csr<T>& a, const Csr<T>& b,
+                                std::span<const index_t> block_row_starts,
+                                std::size_t block_id, const Config& cfg,
+                                ChunkPool& pool, BlockState& state) {
+  EscBlockResult<T> res;
+  sim::MetricCounters& m = res.metrics;
+
+  const offset_t begin =
+      static_cast<offset_t>(block_id) * cfg.nnz_per_block;
+  const offset_t end = std::min<offset_t>(a.nnz(), begin + cfg.nnz_per_block);
+  const auto entries = static_cast<index_t>(end - begin);
+  if (entries <= 0) {
+    state.finished = true;
+    return res;
+  }
+
+  // --- Fetch A (Section 3.2.1): coalesced load of the block's non-zeros,
+  // column ids and (via the row pointer) row ids.
+  m.global_bytes_coalesced +=
+      static_cast<std::uint64_t>(entries) * (sizeof(index_t) + sizeof(T));
+
+  std::vector<index_t> a_row(static_cast<std::size_t>(entries));
+  {
+    index_t row = block_row_starts[block_id];
+    for (index_t i = 0; i < entries; ++i) {
+      const offset_t o = begin + i;
+      while (a.row_ptr[static_cast<std::size_t>(row) + 1] <= o) ++row;
+      a_row[static_cast<std::size_t>(i)] = row;
+    }
+    const index_t rows_in_block =
+        a_row.back() - a_row.front() + 1;
+    m.global_bytes_coalesced +=
+        static_cast<std::uint64_t>(rows_in_block + 1) * sizeof(index_t);
+  }
+
+  // Row dictionary: local row id = index of the row's first non-zero in the
+  // block (Section 3.2.1's bit-length reduction).
+  std::vector<index_t> local_row(static_cast<std::size_t>(entries));
+  for (index_t i = 0; i < entries; ++i) {
+    local_row[static_cast<std::size_t>(i)] =
+        (i > 0 && a_row[static_cast<std::size_t>(i)] ==
+                      a_row[static_cast<std::size_t>(i - 1)])
+            ? local_row[static_cast<std::size_t>(i - 1)]
+            : i;
+  }
+
+  // --- B row lengths (inspected "with little additional cost" while loading
+  // each column index of A) and long-row detection (Section 3.4).
+  const index_t long_threshold = cfg.effective_long_row_threshold();
+  std::vector<offset_t> counts(static_cast<std::size_t>(entries));
+  std::vector<index_t> long_entries;
+  for (index_t i = 0; i < entries; ++i) {
+    const index_t acol = a.col_idx[static_cast<std::size_t>(begin + i)];
+    const index_t blen = b.row_length(acol);
+    // Row-pointer pair lookup: column-local inputs keep one of the two
+    // reads in cache; the other misses.
+    m.global_bytes_scattered += sizeof(index_t);
+    m.global_bytes_coalesced += sizeof(index_t);
+    if (cfg.long_row_handling && blen >= long_threshold) {
+      counts[static_cast<std::size_t>(i)] = 0;
+      long_entries.push_back(i);
+    } else {
+      counts[static_cast<std::size_t>(i)] = blen;
+    }
+  }
+
+  // Long-row pointer chunks, created idempotently across restarts.
+  for (index_t j = state.long_rows_done;
+       j < static_cast<index_t>(long_entries.size()); ++j) {
+    const index_t i = long_entries[static_cast<std::size_t>(j)];
+    const index_t acol = a.col_idx[static_cast<std::size_t>(begin + i)];
+    Chunk<T> chunk;
+    chunk.is_long_row = true;
+    chunk.rows = {a_row[static_cast<std::size_t>(i)]};
+    chunk.b_row = acol;
+    chunk.factor = a.values[static_cast<std::size_t>(begin + i)];
+    chunk.long_len = b.row_length(acol);
+    chunk.order = {static_cast<std::uint32_t>(block_id), state.chunk_counter};
+    if (!pool.try_allocate(chunk.byte_size())) {
+      res.needs_restart = true;
+      return res;
+    }
+    charge_chunk_write(m, chunk.byte_size(), 1);
+    res.chunks.push_back(std::move(chunk));
+    ++state.chunk_counter;
+    state.long_rows_done = j + 1;
+  }
+
+  // --- Local work distribution (Algorithm 2).
+  WorkDistribution wd(counts, m);
+  if (state.committed > 0) wd.fast_forward(state.committed, m);
+
+  const index_t capacity = static_cast<index_t>(cfg.temp_capacity());
+  const index_t retain_cap = static_cast<index_t>(cfg.retain_capacity());
+
+  // Carried partial row between iterations (decoded form; re-encoded with
+  // each iteration's codec).
+  index_t carried_local_row = -1;
+  std::vector<index_t> car_col;
+  std::vector<T> car_val;
+  offset_t carried_sources = 0;
+
+  std::vector<WorkDistribution::Item> items;
+  std::vector<std::uint64_t> keys;
+  std::vector<T> vals;
+
+  while (wd.size() > 0) {
+    ++res.iterations;
+    const auto carried = static_cast<index_t>(car_col.size());
+    const offset_t consume =
+        std::min<offset_t>(wd.size(), capacity - carried);
+    items.clear();
+    wd.receive(consume, items, m);
+
+    // --- Expand: load the assigned B elements and multiply. Track the
+    // dynamic key ranges and the coalescing structure (consecutive items of
+    // the same A entry read consecutive B elements).
+    const std::size_t n = static_cast<std::size_t>(carried) + items.size();
+    keys.resize(n);
+    vals.resize(n);
+
+    index_t min_col = b.cols, max_col = 0;
+    index_t min_lrow = entries, max_lrow = 0;
+    for (index_t c : car_col) {
+      min_col = std::min(min_col, c);
+      max_col = std::max(max_col, c);
+    }
+    if (carried > 0) {
+      min_lrow = std::min(min_lrow, carried_local_row);
+      max_lrow = std::max(max_lrow, carried_local_row);
+    }
+
+    struct Product {
+      index_t lrow, col;
+      T val;
+    };
+    std::vector<Product> prods(items.size());
+    index_t prev_a = -1;
+    offset_t last_row_sources = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const auto [a_idx, b_off] = items[i];
+      const index_t acol = a.col_idx[static_cast<std::size_t>(begin + a_idx)];
+      const index_t bk = b.row_ptr[acol] + b_off;
+      const index_t bcol = b.col_idx[static_cast<std::size_t>(bk)];
+      const T prod = a.values[static_cast<std::size_t>(begin + a_idx)] *
+                     b.values[static_cast<std::size_t>(bk)];
+      prods[i] = {local_row[static_cast<std::size_t>(a_idx)], bcol, prod};
+      min_col = std::min(min_col, bcol);
+      max_col = std::max(max_col, bcol);
+      min_lrow = std::min(min_lrow, prods[i].lrow);
+      max_lrow = std::max(max_lrow, prods[i].lrow);
+      m.global_bytes_coalesced += sizeof(index_t) + sizeof(T);
+      if (a_idx != prev_a) {
+        // New B-row segment: one extra memory transaction of overhead.
+        m.global_bytes_scattered += 32;
+        prev_a = a_idx;
+      }
+    }
+    m.flops += 2 * items.size();
+
+    const KeyCodec codec = KeyCodec::make(
+        min_lrow, std::max(min_lrow, max_lrow), min_col,
+        std::max(min_col, max_col), cfg.dynamic_bits,
+        static_cast<index_t>(cfg.nnz_per_block - 1), b.cols - 1);
+
+    // Buffer layout: carried elements first (stable sort keeps them ahead of
+    // new products with equal keys, preserving prefix-sum accumulation).
+    for (index_t i = 0; i < carried; ++i) {
+      keys[static_cast<std::size_t>(i)] =
+          codec.encode(carried_local_row, car_col[static_cast<std::size_t>(i)]);
+      vals[static_cast<std::size_t>(i)] = car_val[static_cast<std::size_t>(i)];
+    }
+    for (std::size_t i = 0; i < prods.size(); ++i) {
+      keys[static_cast<std::size_t>(carried) + i] =
+          codec.encode(prods[i].lrow, prods[i].col);
+      vals[static_cast<std::size_t>(carried) + i] = prods[i].val;
+    }
+
+    // --- Sort (block radix sort over the reduced bit range).
+    sim::block_radix_sort(std::span(keys), std::span(vals),
+                          codec.total_bits(), m);
+
+    // --- Compress (Algorithm 3 scan).
+    const CompactionOutput<T> out =
+        compact_sorted<T>(std::span(keys), std::span(vals), codec, m);
+    assert(!out.rows.empty());
+
+    // Sources feeding the (new) last row this round: the products drawn for
+    // it plus, if the carried row is still open, its accumulated sources.
+    const index_t last_lrow = out.rows.back().first;
+    last_row_sources = 0;
+    for (const auto& p : prods)
+      if (p.lrow == last_lrow) ++last_row_sources;
+    if (carried > 0 && carried_local_row == last_lrow)
+      last_row_sources += carried_sources;
+
+    const bool more = wd.size() > 0;
+    const index_t last_count = out.rows.back().second;
+    const bool carry_last =
+        more && retain_cap > 0 && last_count <= retain_cap;
+
+    const std::size_t write_rows =
+        carry_last ? out.rows.size() - 1 : out.rows.size();
+
+    if (write_rows > 0) {
+      Chunk<T> chunk = build_chunk(out, write_rows, codec,
+                                   std::span<const index_t>(a_row),
+                                   {static_cast<std::uint32_t>(block_id),
+                                    state.chunk_counter});
+      if (!pool.try_allocate(chunk.byte_size())) {
+        res.needs_restart = true;
+        return res;  // committed unchanged: replay redoes this iteration
+      }
+      charge_chunk_write(m, chunk.byte_size(), write_rows);
+      // Staging round trip through scratchpad for coalesced writes.
+      m.scratch_ops += 2 * chunk.cols.size();
+      res.chunks.push_back(std::move(chunk));
+      ++state.chunk_counter;
+      state.committed =
+          wd.consumed() - (carry_last ? last_row_sources : 0);
+    }
+
+    if (carry_last) {
+      carried_local_row = last_lrow;
+      const std::size_t first =
+          out.keys.size() - static_cast<std::size_t>(last_count);
+      car_col.assign(static_cast<std::size_t>(last_count), 0);
+      car_val.assign(static_cast<std::size_t>(last_count), T{});
+      for (index_t i = 0; i < last_count; ++i) {
+        car_col[static_cast<std::size_t>(i)] =
+            codec.col_of(out.keys[first + static_cast<std::size_t>(i)]);
+        car_val[static_cast<std::size_t>(i)] =
+            out.vals[first + static_cast<std::size_t>(i)];
+      }
+      carried_sources = last_row_sources;
+    } else {
+      carried_local_row = -1;
+      car_col.clear();
+      car_val.clear();
+      carried_sources = 0;
+      if (write_rows > 0) state.committed = wd.consumed();
+    }
+  }
+
+  state.finished = true;
+  return res;
+}
+
+template EscBlockResult<float> run_esc_block(const Csr<float>&,
+                                             const Csr<float>&,
+                                             std::span<const index_t>,
+                                             std::size_t, const Config&,
+                                             ChunkPool&, BlockState&);
+template EscBlockResult<double> run_esc_block(const Csr<double>&,
+                                              const Csr<double>&,
+                                              std::span<const index_t>,
+                                              std::size_t, const Config&,
+                                              ChunkPool&, BlockState&);
+
+}  // namespace acs

@@ -1,0 +1,69 @@
+#include "matrix/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace acs {
+
+template <class T>
+void Coo<T>::sort_and_combine() {
+  const std::size_t n = row_idx.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (row_idx[a] != row_idx[b]) return row_idx[a] < row_idx[b];
+    return col_idx[a] < col_idx[b];
+  });
+
+  std::vector<index_t> r2, c2;
+  std::vector<T> v2;
+  r2.reserve(n);
+  c2.reserve(n);
+  v2.reserve(n);
+  for (std::size_t i : order) {
+    if (!r2.empty() && r2.back() == row_idx[i] && c2.back() == col_idx[i]) {
+      v2.back() += values[i];
+    } else {
+      r2.push_back(row_idx[i]);
+      c2.push_back(col_idx[i]);
+      v2.push_back(values[i]);
+    }
+  }
+  row_idx = std::move(r2);
+  col_idx = std::move(c2);
+  values = std::move(v2);
+}
+
+template <class T>
+Csr<T> Coo<T>::to_csr() {
+  sort_and_combine();
+  Csr<T> m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.assign(static_cast<std::size_t>(rows) + 1, 0);
+  for (index_t r : row_idx) m.row_ptr[static_cast<std::size_t>(r) + 1]++;
+  for (index_t r = 0; r < rows; ++r)
+    m.row_ptr[static_cast<std::size_t>(r) + 1] += m.row_ptr[r];
+  m.col_idx = col_idx;
+  m.values = values;
+  return m;
+}
+
+template <class T>
+Coo<T> Coo<T>::from_csr(const Csr<T>& csr) {
+  Coo out;
+  out.rows = csr.rows;
+  out.cols = csr.cols;
+  out.row_idx.reserve(csr.col_idx.size());
+  for (index_t r = 0; r < csr.rows; ++r)
+    for (index_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k)
+      out.row_idx.push_back(r);
+  out.col_idx = csr.col_idx;
+  out.values = csr.values;
+  return out;
+}
+
+template struct Coo<float>;
+template struct Coo<double>;
+
+}  // namespace acs

@@ -1,0 +1,48 @@
+#pragma once
+/// \file coo.hpp
+/// Coordinate-format sparse matrix, used as the staging format for Matrix
+/// Market I/O and for generator output before conversion to CSR.
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "matrix/types.hpp"
+
+namespace acs {
+
+/// COO triplet matrix. Entries may be unsorted and contain duplicates until
+/// `sort_and_combine()` is called.
+template <class T>
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_idx;
+  std::vector<index_t> col_idx;
+  std::vector<T> values;
+
+  [[nodiscard]] offset_t nnz() const {
+    return static_cast<offset_t>(row_idx.size());
+  }
+
+  void push(index_t r, index_t c, T v) {
+    row_idx.push_back(r);
+    col_idx.push_back(c);
+    values.push_back(v);
+  }
+
+  /// Sort entries by (row, col) and sum duplicates. Summation is performed in
+  /// ascending insertion order within each coordinate, which keeps the
+  /// conversion deterministic.
+  void sort_and_combine();
+
+  /// Convert to CSR. Calls `sort_and_combine()` internally.
+  [[nodiscard]] Csr<T> to_csr();
+
+  /// Expand a CSR matrix back into (sorted, duplicate-free) triplets.
+  static Coo from_csr(const Csr<T>& csr);
+};
+
+extern template struct Coo<float>;
+extern template struct Coo<double>;
+
+}  // namespace acs

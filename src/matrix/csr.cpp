@@ -1,0 +1,99 @@
+#include "matrix/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace acs {
+
+template <class T>
+std::string Csr<T>::validate() const {
+  std::ostringstream err;
+  if (rows < 0 || cols < 0) {
+    err << "negative dimensions " << rows << "x" << cols;
+    return err.str();
+  }
+  if (row_ptr.size() != static_cast<std::size_t>(rows) + 1) {
+    err << "row_ptr size " << row_ptr.size() << " != rows+1 " << rows + 1;
+    return err.str();
+  }
+  if (row_ptr.front() != 0) return "row_ptr[0] != 0";
+  if (col_idx.size() != values.size()) return "col_idx/values size mismatch";
+  if (row_ptr.back() != static_cast<index_t>(col_idx.size()))
+    return "row_ptr back != nnz";
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t begin = row_ptr[r], end = row_ptr[r + 1];
+    if (begin > end) {
+      err << "row_ptr decreasing at row " << r;
+      return err.str();
+    }
+    for (index_t k = begin; k < end; ++k) {
+      if (col_idx[k] < 0 || col_idx[k] >= cols) {
+        err << "column id " << col_idx[k] << " out of range in row " << r;
+        return err.str();
+      }
+      if (k > begin && col_idx[k] <= col_idx[k - 1]) {
+        err << "columns not strictly increasing in row " << r;
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+template <class T>
+bool Csr<T>::equals_exact(const Csr& other) const {
+  return rows == other.rows && cols == other.cols && row_ptr == other.row_ptr &&
+         col_idx == other.col_idx && values == other.values;
+}
+
+template <class T>
+bool Csr<T>::almost_equals(const Csr& other, double rel_tol) const {
+  if (rows != other.rows || cols != other.cols || row_ptr != other.row_ptr ||
+      col_idx != other.col_idx)
+    return false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double a = static_cast<double>(values[i]);
+    const double b = static_cast<double>(other.values[i]);
+    const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+    if (std::abs(a - b) > rel_tol * scale) return false;
+  }
+  return true;
+}
+
+template <class T>
+void Csr<T>::prune_zeros() {
+  std::vector<index_t> new_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::size_t out = 0;
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (values[k] != T{0}) {
+        col_idx[out] = col_idx[k];
+        values[out] = values[k];
+        ++out;
+      }
+    }
+    new_ptr[static_cast<std::size_t>(r) + 1] = static_cast<index_t>(out);
+  }
+  col_idx.resize(out);
+  values.resize(out);
+  row_ptr = std::move(new_ptr);
+}
+
+template <class T>
+Csr<T> Csr<T>::identity(index_t n) {
+  Csr m;
+  m.rows = m.cols = n;
+  m.row_ptr.resize(static_cast<std::size_t>(n) + 1);
+  m.col_idx.resize(n);
+  m.values.assign(n, T{1});
+  for (index_t i = 0; i <= n; ++i) m.row_ptr[i] = i;
+  for (index_t i = 0; i < n; ++i) m.col_idx[i] = i;
+  return m;
+}
+
+template struct Csr<float>;
+template struct Csr<double>;
+
+}  // namespace acs

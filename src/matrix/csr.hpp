@@ -1,0 +1,67 @@
+#pragma once
+/// \file csr.hpp
+/// Compressed-sparse-row matrix container. This is the input/output format of
+/// every SpGEMM algorithm in the repository, matching the paper's assumption
+/// that "matrices are given in the compressed sparse row (CSR) format".
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace acs {
+
+/// CSR sparse matrix with explicitly stored values and column ids, sorted by
+/// row, plus a row-pointer array of length rows+1.
+///
+/// Invariants (checked by `validate()`):
+///  * row_ptr.size() == rows + 1, row_ptr.front() == 0,
+///    row_ptr.back() == nnz(), row_ptr non-decreasing
+///  * col_idx.size() == values.size() == nnz()
+///  * column ids within [0, cols) and strictly increasing inside each row
+template <class T>
+struct Csr {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_ptr{0};
+  std::vector<index_t> col_idx;
+  std::vector<T> values;
+
+  [[nodiscard]] offset_t nnz() const {
+    return static_cast<offset_t>(col_idx.size());
+  }
+
+  [[nodiscard]] index_t row_length(index_t r) const {
+    return row_ptr[static_cast<std::size_t>(r) + 1] - row_ptr[r];
+  }
+
+  /// Verify all container invariants; returns an explanatory message for the
+  /// first violation, or an empty string if the matrix is well-formed.
+  [[nodiscard]] std::string validate() const;
+
+  /// Exact structural and value equality (bitwise on values).
+  [[nodiscard]] bool equals_exact(const Csr& other) const;
+
+  /// Same sparsity structure, values equal up to a relative tolerance.
+  [[nodiscard]] bool almost_equals(const Csr& other, double rel_tol) const;
+
+  /// Drop stored entries whose value is exactly zero (useful after numeric
+  /// cancellation in products).
+  void prune_zeros();
+
+  /// Bytes needed to store the matrix (row_ptr + col_idx + values); the unit
+  /// the paper's memory tables (Table 3 / Fig. 8) are expressed against.
+  [[nodiscard]] std::size_t byte_size() const {
+    return row_ptr.size() * sizeof(index_t) + col_idx.size() * sizeof(index_t) +
+           values.size() * sizeof(T);
+  }
+
+  /// Identity matrix of size n.
+  static Csr identity(index_t n);
+};
+
+extern template struct Csr<float>;
+extern template struct Csr<double>;
+
+}  // namespace acs

@@ -1,0 +1,308 @@
+#include "matrix/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "matrix/coo.hpp"
+
+namespace acs {
+namespace {
+
+// We use the mt19937_64 *engine* directly (its output sequence is fully
+// specified by the standard) but avoid std distributions, whose output is
+// implementation-defined. These helpers give portable determinism.
+using Rng = std::mt19937_64;
+
+index_t uniform_index(Rng& rng, index_t n) {
+  // Multiply-shift mapping of a 64-bit draw onto [0, n).
+  return static_cast<index_t>(
+      (static_cast<unsigned __int128>(rng()) * static_cast<std::uint64_t>(n)) >> 64);
+}
+
+double uniform_unit(Rng& rng) {  // [0, 1)
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+double uniform_value(Rng& rng) {  // [-1, 1)
+  return 2.0 * uniform_unit(rng) - 1.0;
+}
+
+/// Draw `len` distinct sorted column ids from [0, cols).
+std::vector<index_t> draw_columns(Rng& rng, index_t cols, index_t len) {
+  len = std::min(len, cols);
+  std::vector<index_t> out;
+  out.reserve(static_cast<std::size_t>(len));
+  if (len > cols / 2) {
+    // Dense-ish row: reservoir over the full range is cheaper than rejection.
+    std::vector<index_t> all(static_cast<std::size_t>(cols));
+    for (index_t i = 0; i < cols; ++i) all[static_cast<std::size_t>(i)] = i;
+    for (index_t i = 0; i < len; ++i) {
+      const index_t j = i + uniform_index(rng, cols - i);
+      std::swap(all[static_cast<std::size_t>(i)], all[static_cast<std::size_t>(j)]);
+      out.push_back(all[static_cast<std::size_t>(i)]);
+    }
+  } else {
+    std::unordered_set<index_t> seen;
+    while (static_cast<index_t>(out.size()) < len) {
+      const index_t c = uniform_index(rng, cols);
+      if (seen.insert(c).second) out.push_back(c);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+template <class T>
+Csr<T> build_from_row_lengths(index_t rows, index_t cols,
+                              const std::vector<index_t>& lengths, Rng& rng) {
+  Csr<T> m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.resize(static_cast<std::size_t>(rows) + 1);
+  m.row_ptr[0] = 0;
+  offset_t total = 0;
+  for (index_t r = 0; r < rows; ++r) {
+    total += std::min(lengths[static_cast<std::size_t>(r)], cols);
+    m.row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<index_t>(total);
+  }
+  m.col_idx.reserve(static_cast<std::size_t>(total));
+  m.values.reserve(static_cast<std::size_t>(total));
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t len = m.row_ptr[r + 1] - m.row_ptr[r];
+    for (index_t c : draw_columns(rng, cols, len)) {
+      m.col_idx.push_back(c);
+      m.values.push_back(static_cast<T>(uniform_value(rng)));
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+template <class T>
+Csr<T> gen_uniform_random(index_t rows, index_t cols, double avg_row_len,
+                          double spread, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<index_t> lengths(static_cast<std::size_t>(rows));
+  for (auto& len : lengths) {
+    const double jitter = (2.0 * uniform_unit(rng) - 1.0) * spread;
+    len = static_cast<index_t>(std::max(0.0, std::round(avg_row_len + jitter)));
+  }
+  return build_from_row_lengths<T>(rows, cols, lengths, rng);
+}
+
+template <class T>
+Csr<T> gen_uniform_local(index_t rows, index_t cols, double avg_row_len,
+                         double spread, index_t window, std::uint64_t seed) {
+  Rng rng(seed);
+  window = std::min(window, cols);
+  Csr<T> m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.resize(static_cast<std::size_t>(rows) + 1);
+  m.row_ptr[0] = 0;
+  for (index_t r = 0; r < rows; ++r) {
+    const double jitter = (2.0 * uniform_unit(rng) - 1.0) * spread;
+    const index_t len = std::min<index_t>(
+        window,
+        static_cast<index_t>(std::max(0.0, std::round(avg_row_len + jitter))));
+    // Window centred on the row's relative diagonal position.
+    const auto diag = static_cast<index_t>(
+        static_cast<double>(r) / std::max<index_t>(1, rows) *
+        static_cast<double>(cols));
+    const index_t lo =
+        std::clamp<index_t>(diag - window / 2, 0, std::max<index_t>(0, cols - window));
+    std::vector<index_t> drawn = draw_columns(rng, window, len);
+    for (index_t c : drawn) {
+      m.col_idx.push_back(lo + c);
+      m.values.push_back(static_cast<T>(uniform_value(rng)));
+    }
+    m.row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<index_t>(m.col_idx.size());
+  }
+  return m;
+}
+
+template <class T>
+Csr<T> gen_powerlaw(index_t rows, index_t cols, double avg_row_len,
+                    double alpha, index_t max_row_len, std::uint64_t seed) {
+  Rng rng(seed);
+  // Inverse-CDF sampling of a Pareto-like law, then rescale to hit the
+  // requested average.
+  std::vector<double> raw(static_cast<std::size_t>(rows));
+  double sum = 0.0;
+  for (auto& x : raw) {
+    const double u = std::max(uniform_unit(rng), 1e-12);
+    x = std::pow(u, -1.0 / alpha);
+    sum += x;
+  }
+  const double scale = avg_row_len * static_cast<double>(rows) / sum;
+  std::vector<index_t> lengths(static_cast<std::size_t>(rows));
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    lengths[i] = static_cast<index_t>(
+        std::min<double>(std::max(1.0, std::round(raw[i] * scale)),
+                         static_cast<double>(std::min(max_row_len, cols))));
+  }
+  return build_from_row_lengths<T>(rows, cols, lengths, rng);
+}
+
+template <class T>
+Csr<T> gen_banded(index_t n, index_t band, std::uint64_t seed) {
+  Rng rng(seed);
+  Csr<T> m;
+  m.rows = m.cols = n;
+  m.row_ptr.resize(static_cast<std::size_t>(n) + 1);
+  m.row_ptr[0] = 0;
+  for (index_t r = 0; r < n; ++r) {
+    const index_t lo = std::max<index_t>(0, r - band);
+    const index_t hi = std::min<index_t>(n - 1, r + band);
+    for (index_t c = lo; c <= hi; ++c) {
+      m.col_idx.push_back(c);
+      m.values.push_back(static_cast<T>(c == r ? 2.0 * (band + 1)
+                                               : uniform_value(rng)));
+    }
+    m.row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<index_t>(m.col_idx.size());
+  }
+  return m;
+}
+
+template <class T>
+Csr<T> gen_stencil_2d(index_t nx, index_t ny, std::uint64_t seed) {
+  Rng rng(seed);
+  const index_t n = nx * ny;
+  Coo<T> coo;
+  coo.rows = coo.cols = n;
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = y * nx + x;
+      coo.push(i, i, static_cast<T>(4.0 + 0.01 * uniform_value(rng)));
+      if (x > 0) coo.push(i, i - 1, static_cast<T>(-1));
+      if (x + 1 < nx) coo.push(i, i + 1, static_cast<T>(-1));
+      if (y > 0) coo.push(i, i - nx, static_cast<T>(-1));
+      if (y + 1 < ny) coo.push(i, i + nx, static_cast<T>(-1));
+    }
+  }
+  return coo.to_csr();
+}
+
+template <class T>
+Csr<T> gen_stencil_3d(index_t nx, index_t ny, index_t nz, std::uint64_t seed) {
+  Rng rng(seed);
+  const index_t n = nx * ny * nz;
+  Coo<T> coo;
+  coo.rows = coo.cols = n;
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t i = (z * ny + y) * nx + x;
+        coo.push(i, i, static_cast<T>(6.0 + 0.01 * uniform_value(rng)));
+        if (x > 0) coo.push(i, i - 1, static_cast<T>(-1));
+        if (x + 1 < nx) coo.push(i, i + 1, static_cast<T>(-1));
+        if (y > 0) coo.push(i, i - nx, static_cast<T>(-1));
+        if (y + 1 < ny) coo.push(i, i + nx, static_cast<T>(-1));
+        if (z > 0) coo.push(i, i - nx * ny, static_cast<T>(-1));
+        if (z + 1 < nz) coo.push(i, i + nx * ny, static_cast<T>(-1));
+      }
+    }
+  }
+  return coo.to_csr();
+}
+
+template <class T>
+Csr<T> gen_rmat(int scale, double edge_factor, double a, double b, double c,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  const index_t n = static_cast<index_t>(1) << scale;
+  const offset_t edges =
+      static_cast<offset_t>(edge_factor * static_cast<double>(n));
+  Coo<T> coo;
+  coo.rows = coo.cols = n;
+  for (offset_t e = 0; e < edges; ++e) {
+    index_t r = 0, col = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double u = uniform_unit(rng);
+      r <<= 1;
+      col <<= 1;
+      if (u < a) {
+        // top-left quadrant
+      } else if (u < a + b) {
+        col |= 1;
+      } else if (u < a + b + c) {
+        r |= 1;
+      } else {
+        r |= 1;
+        col |= 1;
+      }
+    }
+    coo.push(r, col, static_cast<T>(uniform_value(rng)));
+  }
+  return coo.to_csr();
+}
+
+template <class T>
+Csr<T> gen_block_dense(index_t rows, index_t cols, index_t block,
+                       index_t blocks_per_row, std::uint64_t seed) {
+  Rng rng(seed);
+  Coo<T> coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t bl = 0; bl < blocks_per_row; ++bl) {
+      const index_t start =
+          uniform_index(rng, std::max<index_t>(1, cols - block));
+      for (index_t c = start; c < std::min(cols, start + block); ++c)
+        coo.push(r, c, static_cast<T>(uniform_value(rng)));
+    }
+  }
+  return coo.to_csr();
+}
+
+template <class T>
+Csr<T> inject_long_rows(const Csr<T>& base, index_t count, index_t len,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  Coo<T> coo = Coo<T>::from_csr(base);
+  std::unordered_set<index_t> chosen;
+  while (static_cast<index_t>(chosen.size()) < std::min(count, base.rows))
+    chosen.insert(uniform_index(rng, base.rows));
+
+  // Strip the chosen rows, then add fresh long rows in their place.
+  Coo<T> out;
+  out.rows = base.rows;
+  out.cols = base.cols;
+  for (offset_t i = 0; i < coo.nnz(); ++i) {
+    if (!chosen.count(coo.row_idx[static_cast<std::size_t>(i)]))
+      out.push(coo.row_idx[static_cast<std::size_t>(i)],
+               coo.col_idx[static_cast<std::size_t>(i)],
+               coo.values[static_cast<std::size_t>(i)]);
+  }
+  for (index_t r : chosen)
+    for (index_t c : draw_columns(rng, base.cols, std::min(len, base.cols)))
+      out.push(r, c, static_cast<T>(uniform_value(rng)));
+  return out.to_csr();
+}
+
+template Csr<float> gen_uniform_random<float>(index_t, index_t, double, double, std::uint64_t);
+template Csr<double> gen_uniform_random<double>(index_t, index_t, double, double, std::uint64_t);
+template Csr<float> gen_uniform_local<float>(index_t, index_t, double, double, index_t, std::uint64_t);
+template Csr<double> gen_uniform_local<double>(index_t, index_t, double, double, index_t, std::uint64_t);
+template Csr<float> gen_powerlaw<float>(index_t, index_t, double, double, index_t, std::uint64_t);
+template Csr<double> gen_powerlaw<double>(index_t, index_t, double, double, index_t, std::uint64_t);
+template Csr<float> gen_banded<float>(index_t, index_t, std::uint64_t);
+template Csr<double> gen_banded<double>(index_t, index_t, std::uint64_t);
+template Csr<float> gen_stencil_2d<float>(index_t, index_t, std::uint64_t);
+template Csr<double> gen_stencil_2d<double>(index_t, index_t, std::uint64_t);
+template Csr<float> gen_stencil_3d<float>(index_t, index_t, index_t, std::uint64_t);
+template Csr<double> gen_stencil_3d<double>(index_t, index_t, index_t, std::uint64_t);
+template Csr<float> gen_rmat<float>(int, double, double, double, double, std::uint64_t);
+template Csr<double> gen_rmat<double>(int, double, double, double, double, std::uint64_t);
+template Csr<float> gen_block_dense<float>(index_t, index_t, index_t, index_t, std::uint64_t);
+template Csr<double> gen_block_dense<double>(index_t, index_t, index_t, index_t, std::uint64_t);
+template Csr<float> inject_long_rows<float>(const Csr<float>&, index_t, index_t, std::uint64_t);
+template Csr<double> inject_long_rows<double>(const Csr<double>&, index_t, index_t, std::uint64_t);
+
+}  // namespace acs

@@ -1,0 +1,91 @@
+#pragma once
+/// \file generators.hpp
+/// Deterministic synthetic matrix generators. These stand in for the
+/// SuiteSparse collection (see DESIGN.md, substitution table): each generator
+/// targets one structural regime the paper's evaluation exercises —
+/// uniform-sparse, banded/FEM, power-law graph rows, dense blocks, long rows,
+/// tall/skinny. All randomness comes from an explicit seed through a fully
+/// specified PRNG (std::mt19937_64 engine output used directly), so the same
+/// call always produces the same matrix on every platform.
+
+#include <cstdint>
+
+#include "matrix/csr.hpp"
+
+namespace acs {
+
+/// Uniform random matrix: every row draws `avg_row_len` distinct column ids
+/// uniformly (+- `spread` rows drawn uniformly from
+/// [avg-spread, avg+spread]). Values uniform in [-1, 1].
+template <class T>
+Csr<T> gen_uniform_random(index_t rows, index_t cols, double avg_row_len,
+                          double spread, std::uint64_t seed);
+
+/// Like gen_uniform_random, but each row's columns are drawn from a window
+/// of `window` columns centred on the row's diagonal position — the column
+/// locality real application matrices exhibit (meshes, circuits, banded
+/// systems), which the paper's dynamic bit reduction exploits.
+template <class T>
+Csr<T> gen_uniform_local(index_t rows, index_t cols, double avg_row_len,
+                         double spread, index_t window, std::uint64_t seed);
+
+/// Row lengths follow a truncated power law with exponent `alpha` (graph-like
+/// degree distribution, e.g. web graphs / social networks). `max_row_len`
+/// clamps the tail.
+template <class T>
+Csr<T> gen_powerlaw(index_t rows, index_t cols, double avg_row_len,
+                    double alpha, index_t max_row_len, std::uint64_t seed);
+
+/// Banded matrix: each row has entries on the `band` diagonals around the
+/// main diagonal (structural FEM/finite-difference analogue).
+template <class T>
+Csr<T> gen_banded(index_t n, index_t band, std::uint64_t seed);
+
+/// 5-point 2D Poisson stencil on an nx-by-ny grid (matrix is nx*ny square) —
+/// the poisson3Da-like regime.
+template <class T>
+Csr<T> gen_stencil_2d(index_t nx, index_t ny, std::uint64_t seed);
+
+/// 7-point 3D Poisson stencil on an nx*ny*nz grid (atmosmodl-like regime).
+template <class T>
+Csr<T> gen_stencil_3d(index_t nx, index_t ny, index_t nz, std::uint64_t seed);
+
+/// R-MAT recursive graph generator (Graph500-style). Produces an adjacency
+/// matrix with 2^scale vertices and ~edge_factor*2^scale edges; heavy-tailed
+/// row lengths with localized dense blocks.
+template <class T>
+Csr<T> gen_rmat(int scale, double edge_factor, double a, double b, double c,
+                std::uint64_t seed);
+
+/// Rows of contiguous dense blocks of width `block` at random offsets
+/// (TSOPF-like local dense areas; high compaction factors under A*A).
+template <class T>
+Csr<T> gen_block_dense(index_t rows, index_t cols, index_t block,
+                       index_t blocks_per_row, std::uint64_t seed);
+
+/// Copy of `base` with `count` rows replaced by very long rows of length
+/// `len` (webbase-like individual long rows exceeding block resources).
+template <class T>
+Csr<T> inject_long_rows(const Csr<T>& base, index_t count, index_t len,
+                        std::uint64_t seed);
+
+extern template Csr<float> gen_uniform_random<float>(index_t, index_t, double, double, std::uint64_t);
+extern template Csr<double> gen_uniform_random<double>(index_t, index_t, double, double, std::uint64_t);
+extern template Csr<float> gen_uniform_local<float>(index_t, index_t, double, double, index_t, std::uint64_t);
+extern template Csr<double> gen_uniform_local<double>(index_t, index_t, double, double, index_t, std::uint64_t);
+extern template Csr<float> gen_powerlaw<float>(index_t, index_t, double, double, index_t, std::uint64_t);
+extern template Csr<double> gen_powerlaw<double>(index_t, index_t, double, double, index_t, std::uint64_t);
+extern template Csr<float> gen_banded<float>(index_t, index_t, std::uint64_t);
+extern template Csr<double> gen_banded<double>(index_t, index_t, std::uint64_t);
+extern template Csr<float> gen_stencil_2d<float>(index_t, index_t, std::uint64_t);
+extern template Csr<double> gen_stencil_2d<double>(index_t, index_t, std::uint64_t);
+extern template Csr<float> gen_stencil_3d<float>(index_t, index_t, index_t, std::uint64_t);
+extern template Csr<double> gen_stencil_3d<double>(index_t, index_t, index_t, std::uint64_t);
+extern template Csr<float> gen_rmat<float>(int, double, double, double, double, std::uint64_t);
+extern template Csr<double> gen_rmat<double>(int, double, double, double, double, std::uint64_t);
+extern template Csr<float> gen_block_dense<float>(index_t, index_t, index_t, index_t, std::uint64_t);
+extern template Csr<double> gen_block_dense<double>(index_t, index_t, index_t, index_t, std::uint64_t);
+extern template Csr<float> inject_long_rows<float>(const Csr<float>&, index_t, index_t, std::uint64_t);
+extern template Csr<double> inject_long_rows<double>(const Csr<double>&, index_t, index_t, std::uint64_t);
+
+}  // namespace acs

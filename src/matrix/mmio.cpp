@@ -1,0 +1,124 @@
+#include "matrix/mmio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace acs {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+struct Header {
+  bool pattern = false;
+  bool symmetric = false;
+  bool skew = false;
+};
+
+Header parse_header(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("mmio: empty stream");
+  std::istringstream hs(line);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") throw std::runtime_error("mmio: missing banner");
+  if (lower(object) != "matrix") throw std::runtime_error("mmio: not a matrix");
+  if (lower(format) != "coordinate")
+    throw std::runtime_error("mmio: only coordinate format supported");
+  Header h;
+  const std::string f = lower(field);
+  if (f == "pattern") {
+    h.pattern = true;
+  } else if (f != "real" && f != "integer") {
+    throw std::runtime_error("mmio: unsupported field '" + f + "'");
+  }
+  const std::string s = lower(symmetry);
+  if (s == "symmetric") {
+    h.symmetric = true;
+  } else if (s == "skew-symmetric") {
+    h.symmetric = h.skew = true;
+  } else if (s != "general") {
+    throw std::runtime_error("mmio: unsupported symmetry '" + s + "'");
+  }
+  return h;
+}
+
+}  // namespace
+
+template <class T>
+Coo<T> read_matrix_market(std::istream& in) {
+  const Header h = parse_header(in);
+
+  std::string line;
+  // Skip comments and blank lines up to the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sz(line);
+  long long rows = 0, cols = 0, entries = 0;
+  if (!(sz >> rows >> cols >> entries))
+    throw std::runtime_error("mmio: malformed size line");
+
+  Coo<T> coo;
+  coo.rows = static_cast<index_t>(rows);
+  coo.cols = static_cast<index_t>(cols);
+  coo.row_idx.reserve(static_cast<std::size_t>(entries));
+
+  for (long long i = 0; i < entries; ++i) {
+    long long r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) throw std::runtime_error("mmio: truncated entry list");
+    if (!h.pattern && !(in >> v))
+      throw std::runtime_error("mmio: truncated value");
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      throw std::runtime_error("mmio: coordinate out of range");
+    coo.push(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1),
+             static_cast<T>(v));
+    if (h.symmetric && r != c)
+      coo.push(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1),
+               static_cast<T>(h.skew ? -v : v));
+  }
+  return coo;
+}
+
+template <class T>
+Csr<T> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("mmio: cannot open " + path);
+  return read_matrix_market<T>(in).to_csr();
+}
+
+template <class T>
+void write_matrix_market(std::ostream& out, const Csr<T>& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows << " " << m.cols << " " << m.nnz() << "\n";
+  out << std::setprecision(17);
+  for (index_t r = 0; r < m.rows; ++r)
+    for (index_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k)
+      out << r + 1 << " " << m.col_idx[k] + 1 << " " << m.values[k] << "\n";
+}
+
+template <class T>
+void write_matrix_market_file(const std::string& path, const Csr<T>& m) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("mmio: cannot open " + path + " for write");
+  write_matrix_market(out, m);
+}
+
+template Coo<float> read_matrix_market<float>(std::istream&);
+template Coo<double> read_matrix_market<double>(std::istream&);
+template Csr<float> read_matrix_market_file<float>(const std::string&);
+template Csr<double> read_matrix_market_file<double>(const std::string&);
+template void write_matrix_market(std::ostream&, const Csr<float>&);
+template void write_matrix_market(std::ostream&, const Csr<double>&);
+template void write_matrix_market_file(const std::string&, const Csr<float>&);
+template void write_matrix_market_file(const std::string&, const Csr<double>&);
+
+}  // namespace acs

@@ -1,0 +1,43 @@
+#pragma once
+/// \file mmio.hpp
+/// Matrix Market (.mtx) I/O, mirroring the paper artifact's ability to parse
+/// SuiteSparse matrices. Supports `coordinate` matrices with `real`,
+/// `integer` or `pattern` fields and `general`/`symmetric`/`skew-symmetric`
+/// symmetry.
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+
+namespace acs {
+
+/// Parse a Matrix Market stream into COO triplets (symmetry expanded,
+/// pattern entries given value 1). Throws std::runtime_error on malformed
+/// input.
+template <class T>
+Coo<T> read_matrix_market(std::istream& in);
+
+/// Parse a Matrix Market file into CSR (duplicates combined).
+template <class T>
+Csr<T> read_matrix_market_file(const std::string& path);
+
+/// Write a CSR matrix as a `coordinate real general` Matrix Market stream.
+template <class T>
+void write_matrix_market(std::ostream& out, const Csr<T>& m);
+
+/// Write a CSR matrix to a Matrix Market file.
+template <class T>
+void write_matrix_market_file(const std::string& path, const Csr<T>& m);
+
+extern template Coo<float> read_matrix_market<float>(std::istream&);
+extern template Coo<double> read_matrix_market<double>(std::istream&);
+extern template Csr<float> read_matrix_market_file<float>(const std::string&);
+extern template Csr<double> read_matrix_market_file<double>(const std::string&);
+extern template void write_matrix_market(std::ostream&, const Csr<float>&);
+extern template void write_matrix_market(std::ostream&, const Csr<double>&);
+extern template void write_matrix_market_file(const std::string&, const Csr<float>&);
+extern template void write_matrix_market_file(const std::string&, const Csr<double>&);
+
+}  // namespace acs

@@ -1,0 +1,174 @@
+#include "matrix/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "matrix/transpose.hpp"
+
+namespace acs {
+namespace {
+
+template <class T>
+void require_same_shape(const Csr<T>& a, const Csr<T>& b, const char* op) {
+  if (a.rows != b.rows || a.cols != b.cols)
+    throw std::invalid_argument(std::string(op) + ": shape mismatch");
+}
+
+}  // namespace
+
+template <class T>
+Csr<T> add(const Csr<T>& a, const Csr<T>& b, T alpha, T beta) {
+  require_same_shape(a, b, "add");
+  Csr<T> c;
+  c.rows = a.rows;
+  c.cols = a.cols;
+  c.row_ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+  c.col_idx.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  c.values.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  for (index_t r = 0; r < a.rows; ++r) {
+    index_t ka = a.row_ptr[r], kb = b.row_ptr[r];
+    const index_t ea = a.row_ptr[r + 1], eb = b.row_ptr[r + 1];
+    while (ka < ea || kb < eb) {
+      index_t col;
+      T val;
+      if (kb >= eb || (ka < ea && a.col_idx[ka] < b.col_idx[kb])) {
+        col = a.col_idx[ka];
+        val = alpha * a.values[ka++];
+      } else if (ka >= ea || b.col_idx[kb] < a.col_idx[ka]) {
+        col = b.col_idx[kb];
+        val = beta * b.values[kb++];
+      } else {
+        col = a.col_idx[ka];
+        val = alpha * a.values[ka++] + beta * b.values[kb++];
+      }
+      c.col_idx.push_back(col);
+      c.values.push_back(val);
+    }
+    c.row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<index_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+template <class T>
+void scale(Csr<T>& m, T factor) {
+  for (auto& v : m.values) v *= factor;
+}
+
+template <class T>
+Csr<T> hadamard(const Csr<T>& a, const Csr<T>& b) {
+  require_same_shape(a, b, "hadamard");
+  Csr<T> c;
+  c.rows = a.rows;
+  c.cols = a.cols;
+  c.row_ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+  for (index_t r = 0; r < a.rows; ++r) {
+    index_t ka = a.row_ptr[r], kb = b.row_ptr[r];
+    while (ka < a.row_ptr[r + 1] && kb < b.row_ptr[r + 1]) {
+      if (a.col_idx[ka] < b.col_idx[kb]) {
+        ++ka;
+      } else if (b.col_idx[kb] < a.col_idx[ka]) {
+        ++kb;
+      } else {
+        c.col_idx.push_back(a.col_idx[ka]);
+        c.values.push_back(a.values[ka] * b.values[kb]);
+        ++ka;
+        ++kb;
+      }
+    }
+    c.row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<index_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+template <class T>
+Csr<T> structural_mask(const Csr<T>& m, const Csr<T>& mask) {
+  require_same_shape(m, mask, "structural_mask");
+  Csr<T> c;
+  c.rows = m.rows;
+  c.cols = m.cols;
+  c.row_ptr.assign(static_cast<std::size_t>(m.rows) + 1, 0);
+  for (index_t r = 0; r < m.rows; ++r) {
+    index_t km = m.row_ptr[r], kk = mask.row_ptr[r];
+    while (km < m.row_ptr[r + 1] && kk < mask.row_ptr[r + 1]) {
+      if (m.col_idx[km] < mask.col_idx[kk]) {
+        ++km;
+      } else if (mask.col_idx[kk] < m.col_idx[km]) {
+        ++kk;
+      } else {
+        c.col_idx.push_back(m.col_idx[km]);
+        c.values.push_back(m.values[km]);
+        ++km;
+        ++kk;
+      }
+    }
+    c.row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<index_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+template <class T>
+double frobenius_distance(const Csr<T>& a, const Csr<T>& b) {
+  require_same_shape(a, b, "frobenius_distance");
+  double sum = 0.0;
+  for (index_t r = 0; r < a.rows; ++r) {
+    index_t ka = a.row_ptr[r], kb = b.row_ptr[r];
+    const index_t ea = a.row_ptr[r + 1], eb = b.row_ptr[r + 1];
+    while (ka < ea || kb < eb) {
+      double d;
+      if (kb >= eb || (ka < ea && a.col_idx[ka] < b.col_idx[kb])) {
+        d = static_cast<double>(a.values[ka++]);
+      } else if (ka >= ea || b.col_idx[kb] < a.col_idx[ka]) {
+        d = -static_cast<double>(b.values[kb++]);
+      } else {
+        d = static_cast<double>(a.values[ka++]) -
+            static_cast<double>(b.values[kb++]);
+      }
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+template <class T>
+std::vector<T> diagonal(const Csr<T>& m) {
+  std::vector<T> d(static_cast<std::size_t>(std::min(m.rows, m.cols)), T{});
+  for (index_t r = 0; r < static_cast<index_t>(d.size()); ++r)
+    for (index_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k)
+      if (m.col_idx[k] == r) d[static_cast<std::size_t>(r)] = m.values[k];
+  return d;
+}
+
+template <class T>
+T value_sum(const Csr<T>& m) {
+  T s{};
+  for (const T& v : m.values) s += v;
+  return s;
+}
+
+template <class T>
+bool is_symmetric(const Csr<T>& m) {
+  if (m.rows != m.cols) return false;
+  return m.equals_exact(transpose(m));
+}
+
+template Csr<float> add(const Csr<float>&, const Csr<float>&, float, float);
+template Csr<double> add(const Csr<double>&, const Csr<double>&, double, double);
+template void scale(Csr<float>&, float);
+template void scale(Csr<double>&, double);
+template Csr<float> hadamard(const Csr<float>&, const Csr<float>&);
+template Csr<double> hadamard(const Csr<double>&, const Csr<double>&);
+template Csr<float> structural_mask(const Csr<float>&, const Csr<float>&);
+template Csr<double> structural_mask(const Csr<double>&, const Csr<double>&);
+template double frobenius_distance(const Csr<float>&, const Csr<float>&);
+template double frobenius_distance(const Csr<double>&, const Csr<double>&);
+template std::vector<float> diagonal(const Csr<float>&);
+template std::vector<double> diagonal(const Csr<double>&);
+template float value_sum(const Csr<float>&);
+template double value_sum(const Csr<double>&);
+template bool is_symmetric(const Csr<float>&);
+template bool is_symmetric(const Csr<double>&);
+
+}  // namespace acs

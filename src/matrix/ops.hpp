@@ -1,0 +1,62 @@
+#pragma once
+/// \file ops.hpp
+/// Element-wise and structural operations on CSR matrices: the utility set
+/// a downstream SpGEMM user needs around the multiply itself (AMG setup,
+/// graph analytics masks, residual checks).
+
+#include "matrix/csr.hpp"
+
+namespace acs {
+
+/// alpha*A + beta*B (same dimensions; structural union).
+template <class T>
+Csr<T> add(const Csr<T>& a, const Csr<T>& b, T alpha = T{1}, T beta = T{1});
+
+/// In-place scalar scale.
+template <class T>
+void scale(Csr<T>& m, T factor);
+
+/// Hadamard (element-wise) product restricted to the intersection pattern —
+/// the "masked" operation triangle counting uses (A .* (A*A)).
+template <class T>
+Csr<T> hadamard(const Csr<T>& a, const Csr<T>& b);
+
+/// Keep only entries where `mask` has an entry (values from `m`).
+template <class T>
+Csr<T> structural_mask(const Csr<T>& m, const Csr<T>& mask);
+
+/// Frobenius norm of (a - b); matrices must share dimensions. Useful for
+/// comparing products across algorithms with a single scalar.
+template <class T>
+double frobenius_distance(const Csr<T>& a, const Csr<T>& b);
+
+/// Extract the main diagonal as a dense vector (missing entries are zero).
+template <class T>
+std::vector<T> diagonal(const Csr<T>& m);
+
+/// Sum of all values (e.g. closed-wedge counting after a mask).
+template <class T>
+T value_sum(const Csr<T>& m);
+
+/// True if the matrix equals its transpose structurally and numerically.
+template <class T>
+bool is_symmetric(const Csr<T>& m);
+
+extern template Csr<float> add(const Csr<float>&, const Csr<float>&, float, float);
+extern template Csr<double> add(const Csr<double>&, const Csr<double>&, double, double);
+extern template void scale(Csr<float>&, float);
+extern template void scale(Csr<double>&, double);
+extern template Csr<float> hadamard(const Csr<float>&, const Csr<float>&);
+extern template Csr<double> hadamard(const Csr<double>&, const Csr<double>&);
+extern template Csr<float> structural_mask(const Csr<float>&, const Csr<float>&);
+extern template Csr<double> structural_mask(const Csr<double>&, const Csr<double>&);
+extern template double frobenius_distance(const Csr<float>&, const Csr<float>&);
+extern template double frobenius_distance(const Csr<double>&, const Csr<double>&);
+extern template std::vector<float> diagonal(const Csr<float>&);
+extern template std::vector<double> diagonal(const Csr<double>&);
+extern template float value_sum(const Csr<float>&);
+extern template double value_sum(const Csr<double>&);
+extern template bool is_symmetric(const Csr<float>&);
+extern template bool is_symmetric(const Csr<double>&);
+
+}  // namespace acs

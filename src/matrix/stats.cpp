@@ -1,0 +1,77 @@
+#include "matrix/stats.hpp"
+
+#include <algorithm>
+
+namespace acs {
+
+template <class T>
+RowStats row_stats(const Csr<T>& m) {
+  RowStats s;
+  if (m.rows == 0) return s;
+  s.min_len = m.row_length(0);
+  for (index_t r = 0; r < m.rows; ++r) {
+    const index_t len = m.row_length(r);
+    s.min_len = std::min(s.min_len, len);
+    s.max_len = std::max(s.max_len, len);
+  }
+  s.avg_len = static_cast<double>(m.nnz()) / static_cast<double>(m.rows);
+  return s;
+}
+
+template <class T>
+offset_t intermediate_products(const Csr<T>& a, const Csr<T>& b) {
+  offset_t total = 0;
+  for (index_t k : a.col_idx) total += b.row_length(k);
+  return total;
+}
+
+template <class T>
+std::vector<offset_t> intermediate_products_per_row(const Csr<T>& a,
+                                                    const Csr<T>& b) {
+  std::vector<offset_t> out(static_cast<std::size_t>(a.rows), 0);
+  for (index_t r = 0; r < a.rows; ++r)
+    for (index_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k)
+      out[static_cast<std::size_t>(r)] += b.row_length(a.col_idx[k]);
+  return out;
+}
+
+template <class T>
+offset_t spgemm_flops(const Csr<T>& a, const Csr<T>& b) {
+  return 2 * intermediate_products(a, b);
+}
+
+template <class T>
+double compaction_factor(const Csr<T>& a, const Csr<T>& b, offset_t nnz_c) {
+  if (nnz_c == 0) return 0.0;
+  return static_cast<double>(intermediate_products(a, b)) /
+         static_cast<double>(nnz_c);
+}
+
+template <class T>
+std::vector<offset_t> row_length_histogram(const Csr<T>& m,
+                                           const std::vector<index_t>& buckets) {
+  std::vector<offset_t> hist(buckets.size(), 0);
+  for (index_t r = 0; r < m.rows; ++r) {
+    const index_t len = m.row_length(r);
+    // Find the last bucket whose lower bound is <= len.
+    std::size_t bi = 0;
+    while (bi + 1 < buckets.size() && len >= buckets[bi + 1]) ++bi;
+    hist[bi]++;
+  }
+  return hist;
+}
+
+template RowStats row_stats(const Csr<float>&);
+template RowStats row_stats(const Csr<double>&);
+template offset_t intermediate_products(const Csr<float>&, const Csr<float>&);
+template offset_t intermediate_products(const Csr<double>&, const Csr<double>&);
+template std::vector<offset_t> intermediate_products_per_row(const Csr<float>&, const Csr<float>&);
+template std::vector<offset_t> intermediate_products_per_row(const Csr<double>&, const Csr<double>&);
+template offset_t spgemm_flops(const Csr<float>&, const Csr<float>&);
+template offset_t spgemm_flops(const Csr<double>&, const Csr<double>&);
+template double compaction_factor(const Csr<float>&, const Csr<float>&, offset_t);
+template double compaction_factor(const Csr<double>&, const Csr<double>&, offset_t);
+template std::vector<offset_t> row_length_histogram(const Csr<float>&, const std::vector<index_t>&);
+template std::vector<offset_t> row_length_histogram(const Csr<double>&, const std::vector<index_t>&);
+
+}  // namespace acs

@@ -1,0 +1,64 @@
+#pragma once
+/// \file stats.hpp
+/// Matrix statistics used throughout the paper's evaluation: row-length
+/// distributions (Fig. 1), intermediate-product counts ("temp", Table 2),
+/// compaction factors (Section 4.2) and FLOP counts for GFLOPS reporting.
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace acs {
+
+/// Row-length summary for one matrix (Fig. 1 columns).
+struct RowStats {
+  index_t min_len = 0;
+  index_t max_len = 0;
+  double avg_len = 0.0;
+};
+
+template <class T>
+RowStats row_stats(const Csr<T>& m);
+
+/// Number of intermediate products of A·B: sum over non-zeros A_ik of
+/// |row k of B|. This is the paper's "temporary elements" (x-axis of Fig. 5,
+/// "temp" column of Table 2) and also half the FLOP count (one multiply and
+/// one add per product).
+template <class T>
+offset_t intermediate_products(const Csr<T>& a, const Csr<T>& b);
+
+/// Per-row intermediate product counts (used by row-binning baselines).
+template <class T>
+std::vector<offset_t> intermediate_products_per_row(const Csr<T>& a,
+                                                    const Csr<T>& b);
+
+/// FLOPs of the product: 2 * intermediate_products (the convention used by
+/// all GPU SpGEMM papers when reporting GFLOPS).
+template <class T>
+offset_t spgemm_flops(const Csr<T>& a, const Csr<T>& b);
+
+/// Compaction factor: intermediate products / nnz(C). The paper observes
+/// ESC loses to hashing when this grows large (up to 150 for hood/cant).
+template <class T>
+double compaction_factor(const Csr<T>& a, const Csr<T>& b, offset_t nnz_c);
+
+/// Histogram of row lengths with the given bucket boundaries
+/// (buckets[i] <= len < buckets[i+1]); final bucket is open-ended.
+template <class T>
+std::vector<offset_t> row_length_histogram(const Csr<T>& m,
+                                           const std::vector<index_t>& buckets);
+
+extern template RowStats row_stats(const Csr<float>&);
+extern template RowStats row_stats(const Csr<double>&);
+extern template offset_t intermediate_products(const Csr<float>&, const Csr<float>&);
+extern template offset_t intermediate_products(const Csr<double>&, const Csr<double>&);
+extern template std::vector<offset_t> intermediate_products_per_row(const Csr<float>&, const Csr<float>&);
+extern template std::vector<offset_t> intermediate_products_per_row(const Csr<double>&, const Csr<double>&);
+extern template offset_t spgemm_flops(const Csr<float>&, const Csr<float>&);
+extern template offset_t spgemm_flops(const Csr<double>&, const Csr<double>&);
+extern template double compaction_factor(const Csr<float>&, const Csr<float>&, offset_t);
+extern template double compaction_factor(const Csr<double>&, const Csr<double>&, offset_t);
+extern template std::vector<offset_t> row_length_histogram(const Csr<float>&, const std::vector<index_t>&);
+extern template std::vector<offset_t> row_length_histogram(const Csr<double>&, const std::vector<index_t>&);
+
+}  // namespace acs

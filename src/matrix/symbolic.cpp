@@ -1,0 +1,59 @@
+#include "matrix/symbolic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acs {
+
+template <class T>
+std::vector<index_t> symbolic_row_nnz(const Csr<T>& a, const Csr<T>& b) {
+  if (a.cols != b.rows)
+    throw std::invalid_argument("symbolic: dimension mismatch");
+  std::vector<index_t> counts(static_cast<std::size_t>(a.rows), 0);
+  std::vector<index_t> marker(static_cast<std::size_t>(b.cols), -1);
+  for (index_t r = 0; r < a.rows; ++r) {
+    index_t count = 0;
+    for (index_t ka = a.row_ptr[r]; ka < a.row_ptr[r + 1]; ++ka) {
+      const index_t k = a.col_idx[ka];
+      for (index_t kb = b.row_ptr[k]; kb < b.row_ptr[k + 1]; ++kb) {
+        const index_t col = b.col_idx[kb];
+        if (marker[static_cast<std::size_t>(col)] != r) {
+          marker[static_cast<std::size_t>(col)] = r;
+          ++count;
+        }
+      }
+    }
+    counts[static_cast<std::size_t>(r)] = count;
+  }
+  return counts;
+}
+
+template <class T>
+offset_t symbolic_nnz(const Csr<T>& a, const Csr<T>& b) {
+  offset_t total = 0;
+  for (index_t c : symbolic_row_nnz(a, b)) total += c;
+  return total;
+}
+
+template <class T>
+double estimated_nnz(const Csr<T>& a, const Csr<T>& b) {
+  const double rows_a = std::max<double>(1.0, static_cast<double>(a.rows));
+  const double rows_b = std::max<double>(1.0, static_cast<double>(b.rows));
+  const double cols_b = std::max<double>(1.0, static_cast<double>(b.cols));
+  const double avg_a = static_cast<double>(a.nnz()) / rows_a;
+  const double avg_b = static_cast<double>(b.nnz()) / rows_b;
+  const double p_b = avg_b / cols_b;
+  const double collision_scale =
+      p_b < 1e-12 ? avg_a : (1.0 - std::pow(1.0 - p_b, avg_a)) / p_b;
+  return rows_a * avg_b * collision_scale;
+}
+
+template std::vector<index_t> symbolic_row_nnz(const Csr<float>&, const Csr<float>&);
+template std::vector<index_t> symbolic_row_nnz(const Csr<double>&, const Csr<double>&);
+template offset_t symbolic_nnz(const Csr<float>&, const Csr<float>&);
+template offset_t symbolic_nnz(const Csr<double>&, const Csr<double>&);
+template double estimated_nnz(const Csr<float>&, const Csr<float>&);
+template double estimated_nnz(const Csr<double>&, const Csr<double>&);
+
+}  // namespace acs

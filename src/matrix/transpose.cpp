@@ -1,0 +1,35 @@
+#include "matrix/transpose.hpp"
+
+namespace acs {
+
+template <class T>
+Csr<T> transpose(const Csr<T>& m) {
+  Csr<T> t;
+  t.rows = m.cols;
+  t.cols = m.rows;
+  t.row_ptr.assign(static_cast<std::size_t>(m.cols) + 1, 0);
+  t.col_idx.resize(m.col_idx.size());
+  t.values.resize(m.values.size());
+
+  for (index_t c : m.col_idx) t.row_ptr[static_cast<std::size_t>(c) + 1]++;
+  for (index_t c = 0; c < m.cols; ++c)
+    t.row_ptr[static_cast<std::size_t>(c) + 1] += t.row_ptr[c];
+
+  // Scatter pass: row-major traversal of m emits entries of t in increasing
+  // source-row order, so each transposed row ends up sorted by column.
+  std::vector<index_t> cursor(t.row_ptr.begin(), t.row_ptr.end() - 1);
+  for (index_t r = 0; r < m.rows; ++r) {
+    for (index_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      const index_t c = m.col_idx[k];
+      const index_t dst = cursor[c]++;
+      t.col_idx[dst] = r;
+      t.values[dst] = m.values[k];
+    }
+  }
+  return t;
+}
+
+template Csr<float> transpose(const Csr<float>&);
+template Csr<double> transpose(const Csr<double>&);
+
+}  // namespace acs

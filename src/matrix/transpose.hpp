@@ -1,0 +1,17 @@
+#pragma once
+/// \file transpose.hpp
+/// CSR transpose. The paper evaluates A·Aᵀ for non-square matrices with a
+/// precomputed transpose; this provides that precomputation.
+
+#include "matrix/csr.hpp"
+
+namespace acs {
+
+/// Return the transpose of `m` in CSR form (counting-sort based, O(nnz)).
+template <class T>
+Csr<T> transpose(const Csr<T>& m);
+
+extern template Csr<float> transpose(const Csr<float>&);
+extern template Csr<double> transpose(const Csr<double>&);
+
+}  // namespace acs

@@ -1,0 +1,32 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental index types and small helpers shared across the library.
+
+#include <cstdint>
+#include <type_traits>
+
+namespace acs {
+
+/// Index type for rows, columns and non-zero positions. The paper's GPU
+/// implementation uses 32-bit indices throughout; we keep that choice so the
+/// sort-key bit-width arithmetic (Section 3.2.3) matches the original.
+using index_t = std::int32_t;
+
+/// Offset type for non-zero counts that may exceed 2^31 (e.g. intermediate
+/// product counts of large products).
+using offset_t = std::int64_t;
+
+/// Integer ceiling division, as used by the paper's Algorithm 1.
+template <class I>
+constexpr I divup(I a, I b) {
+  static_assert(std::is_integral_v<I>);
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to the next multiple of `b`.
+template <class I>
+constexpr I round_up(I a, I b) {
+  return divup(a, b) * b;
+}
+
+}  // namespace acs

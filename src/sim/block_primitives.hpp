@@ -1,0 +1,132 @@
+#pragma once
+/// \file block_primitives.hpp
+/// Block-wide cooperative primitives, the CUB analogues the paper's kernels
+/// are built on: inclusive/exclusive prefix scans, max-scans, a stable LSD
+/// block radix sort, and the blocked→striped layout exchange used by the
+/// work distribution (Alg. 2, line 25). Each primitive executes the exact
+/// data movement the GPU version would and charges its work to a
+/// MetricCounters set so the cost model sees the same work the hardware
+/// would (e.g. radix-sort cost proportional to the sorted bit width — the
+/// basis of the paper's dynamic bit-reduction optimization).
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace acs::sim {
+
+/// In-place inclusive prefix scan with an arbitrary associative operator.
+template <class T, class Op = std::plus<T>>
+void inclusive_scan(std::span<T> data, MetricCounters& m, Op op = {}) {
+  for (std::size_t i = 1; i < data.size(); ++i)
+    data[i] = op(data[i - 1], data[i]);
+  m.scan_elements += data.size();
+}
+
+/// In-place exclusive prefix sum; returns the total.
+template <class T>
+T exclusive_sum(std::span<T> data, MetricCounters& m) {
+  T running{};
+  for (auto& x : data) {
+    const T v = x;
+    x = running;
+    running += v;
+  }
+  m.scan_elements += data.size();
+  return running;
+}
+
+/// In-place inclusive max-scan (Alg. 2, line 24).
+template <class T>
+void inclusive_max_scan(std::span<T> data, MetricCounters& m) {
+  for (std::size_t i = 1; i < data.size(); ++i)
+    data[i] = std::max(data[i - 1], data[i]);
+  m.scan_elements += data.size();
+}
+
+/// Number of 4-bit radix passes needed to sort keys of `bits` significant
+/// bits (the quantity the paper's bit reduction minimizes).
+constexpr int radix_passes(int bits) { return (bits + 3) / 4; }
+
+/// Stable LSD radix sort of (key, payload) pairs over the low `bits` bits of
+/// the keys. Matches CUB's BlockRadixSort semantics: stable, ascending,
+/// work ∝ #keys × #passes.
+template <class K, class V>
+void block_radix_sort(std::span<K> keys, std::span<V> payload, int bits,
+                      MetricCounters& m) {
+  const std::size_t n = keys.size();
+  const int passes = radix_passes(bits);
+  m.sort_pass_elements += static_cast<std::uint64_t>(n) *
+                          static_cast<std::uint64_t>(std::max(passes, 0));
+  if (n <= 1 || passes <= 0) return;
+
+  std::vector<K> kbuf(n);
+  std::vector<V> vbuf(n);
+  K* ksrc = keys.data();
+  V* vsrc = payload.data();
+  K* kdst = kbuf.data();
+  V* vdst = vbuf.data();
+
+  for (int p = 0; p < passes; ++p) {
+    const int shift = p * 4;
+    std::size_t count[16] = {};
+    for (std::size_t i = 0; i < n; ++i)
+      count[(static_cast<std::uint64_t>(ksrc[i]) >> shift) & 0xF]++;
+    std::size_t offset[16];
+    std::size_t run = 0;
+    for (int d = 0; d < 16; ++d) {
+      offset[d] = run;
+      run += count[d];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto d = (static_cast<std::uint64_t>(ksrc[i]) >> shift) & 0xF;
+      kdst[offset[d]] = ksrc[i];
+      vdst[offset[d]] = vsrc[i];
+      ++offset[d];
+    }
+    std::swap(ksrc, kdst);
+    std::swap(vsrc, vdst);
+  }
+  if (ksrc != keys.data()) {
+    std::copy(ksrc, ksrc + n, keys.data());
+    std::copy(vsrc, vsrc + n, payload.data());
+  }
+}
+
+/// Blocked→striped exchange: element (thread t, slot i) in blocked layout
+/// moves to position t + i*THREADS. Used by the work distribution so that
+/// consecutive threads load consecutive elements of B (coalescing).
+/// data.size() must be a multiple of `threads` (as on the GPU, where the
+/// exchange buffer is sized THREADS × ITEMS and padded).
+template <class T>
+void blocked_to_striped(std::span<T> data, int threads, MetricCounters& m) {
+  const std::size_t n = data.size();
+  if (n % static_cast<std::size_t>(threads) != 0)
+    throw std::invalid_argument("blocked_to_striped: size not a multiple of thread count");
+  const std::size_t per_thread = n / static_cast<std::size_t>(threads);
+  std::vector<T> tmp(n);
+  for (std::size_t src = 0; src < n; ++src) {
+    const std::size_t t = src / per_thread;
+    const std::size_t slot = src % per_thread;
+    tmp[t + slot * static_cast<std::size_t>(threads)] = data[src];
+  }
+  std::copy(tmp.begin(), tmp.end(), data.begin());
+  m.scratch_ops += 2 * n;
+}
+
+/// Significant bits of a non-negative value (0 → 0 bits).
+constexpr int bits_for(std::uint64_t max_value) {
+  int b = 0;
+  while (max_value > 0) {
+    ++b;
+    max_value >>= 1;
+  }
+  return b;
+}
+
+}  // namespace acs::sim

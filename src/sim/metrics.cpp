@@ -1,0 +1,24 @@
+#include "sim/metrics.hpp"
+
+namespace acs::sim {
+
+MetricCounters& MetricCounters::operator+=(const MetricCounters& other) {
+  global_bytes_coalesced += other.global_bytes_coalesced;
+  global_bytes_scattered += other.global_bytes_scattered;
+  scratch_ops += other.scratch_ops;
+  sort_pass_elements += other.sort_pass_elements;
+  scan_elements += other.scan_elements;
+  hash_probes += other.hash_probes;
+  atomic_ops += other.atomic_ops;
+  flops += other.flops;
+  compute_ops += other.compute_ops;
+  return *this;
+}
+
+MetricCounters MetricCounters::operator+(const MetricCounters& other) const {
+  MetricCounters out = *this;
+  out += other;
+  return out;
+}
+
+}  // namespace acs::sim

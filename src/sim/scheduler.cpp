@@ -1,0 +1,49 @@
+#include "sim/scheduler.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace acs::sim {
+
+BlockScheduler::BlockScheduler(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) threads_ = std::max(1u, std::thread::hardware_concurrency());
+}
+
+void BlockScheduler::for_each_block(
+    std::size_t num_blocks, const std::function<void(std::size_t)>& body) const {
+  if (num_blocks == 0) return;
+  if (threads_ <= 1 || num_blocks == 1) {
+    for (std::size_t b = 0; b < num_blocks; ++b) body(b);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_blocks) return;
+      try {
+        body(b);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const unsigned n = std::min<std::size_t>(threads_, num_blocks);
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace acs::sim

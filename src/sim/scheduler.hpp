@@ -1,0 +1,32 @@
+#pragma once
+/// \file scheduler.hpp
+/// Host-side executor for simulated thread blocks. Blocks are independent
+/// units of work (exactly as on the GPU); the scheduler runs them either
+/// sequentially or on a small thread pool. Results must be written to
+/// per-block slots by the callback, which is what makes the execution
+/// deterministic regardless of thread count — the same property the paper's
+/// deterministic scheduling pattern provides on hardware.
+
+#include <cstddef>
+#include <functional>
+
+namespace acs::sim {
+
+class BlockScheduler {
+ public:
+  /// `threads == 0` picks std::thread::hardware_concurrency().
+  explicit BlockScheduler(unsigned threads = 1);
+
+  /// Invoke `body(block_id)` for every block in [0, num_blocks). Exceptions
+  /// thrown by any block are rethrown (first one wins) after all workers
+  /// finish.
+  void for_each_block(std::size_t num_blocks,
+                      const std::function<void(std::size_t)>& body) const;
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace acs::sim

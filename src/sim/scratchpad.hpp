@@ -1,0 +1,54 @@
+#pragma once
+/// \file scratchpad.hpp
+/// Per-block scratchpad (shared memory) arena. The AC-ESC stage's central
+/// claim is that all temporary data fits in on-chip memory; this arena
+/// enforces that claim at runtime — allocations beyond the configured
+/// capacity throw, so any configuration that would overflow real shared
+/// memory fails loudly in the simulator too.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace acs::sim {
+
+class Scratchpad {
+ public:
+  explicit Scratchpad(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes), storage_(capacity_bytes) {}
+
+  /// Allocate `count` default-initialized elements of type T. Alignment is
+  /// handled by padding to alignof(T). Throws std::length_error on overflow.
+  template <class T>
+  std::span<T> allocate(std::size_t count) {
+    const std::size_t align = alignof(T);
+    std::size_t offset = (used_ + align - 1) / align * align;
+    const std::size_t bytes = count * sizeof(T);
+    if (offset + bytes > capacity_)
+      throw std::length_error("scratchpad overflow: request " +
+                              std::to_string(bytes) + "B at offset " +
+                              std::to_string(offset) + " of " +
+                              std::to_string(capacity_) + "B");
+    T* ptr = reinterpret_cast<T*>(storage_.data() + offset);
+    for (std::size_t i = 0; i < count; ++i) ptr[i] = T{};
+    used_ = offset + bytes;
+    high_water_ = std::max(high_water_, used_);
+    return std::span<T>(ptr, count);
+  }
+
+  /// Release everything (block barrier + reuse between pipeline phases).
+  void reset() { used_ = 0; }
+
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace acs::sim

@@ -1,0 +1,57 @@
+#include "suite/bench_runner.hpp"
+
+#include "matrix/stats.hpp"
+#include "matrix/transpose.hpp"
+
+namespace acs {
+
+template <class T>
+BenchMeasurement run_benchmark(const SuiteEntry& entry,
+                               const SpgemmAlgorithm<T>& algo) {
+  const Csr<T> a = build_matrix<T>(entry);
+  const Csr<T> b = entry.square ? a : transpose(a);
+
+  BenchMeasurement m;
+  m.matrix = entry.name;
+  m.algorithm = algo.name();
+  m.precision = sizeof(T) == 4 ? "float" : "double";
+  m.nnz_a = a.nnz();
+  m.avg_row_len_a = row_stats(a).avg_len;
+  m.temp_products = intermediate_products(a, b);
+
+  const Csr<T> c = algo.multiply(a, b, &m.stats);
+  m.nnz_c = c.nnz();
+  m.gflops = m.stats.gflops();
+  m.sim_time_s = m.stats.sim_time_s;
+  return m;
+}
+
+template <class T>
+std::vector<BenchMeasurement> run_benchmarks(
+    const SuiteEntry& entry,
+    const std::vector<std::unique_ptr<SpgemmAlgorithm<T>>>& algos) {
+  std::vector<BenchMeasurement> out;
+  out.reserve(algos.size());
+  for (const auto& algo : algos) out.push_back(run_benchmark(entry, *algo));
+  return out;
+}
+
+double harmonic_mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double denom = 0.0;
+  for (double x : v) denom += 1.0 / x;
+  return static_cast<double>(v.size()) / denom;
+}
+
+template BenchMeasurement run_benchmark(const SuiteEntry&,
+                                        const SpgemmAlgorithm<float>&);
+template BenchMeasurement run_benchmark(const SuiteEntry&,
+                                        const SpgemmAlgorithm<double>&);
+template std::vector<BenchMeasurement> run_benchmarks(
+    const SuiteEntry&,
+    const std::vector<std::unique_ptr<SpgemmAlgorithm<float>>>&);
+template std::vector<BenchMeasurement> run_benchmarks(
+    const SuiteEntry&,
+    const std::vector<std::unique_ptr<SpgemmAlgorithm<double>>>&);
+
+}  // namespace acs

@@ -1,0 +1,54 @@
+#pragma once
+/// \file bench_runner.hpp
+/// Shared driver for the table/figure benchmark binaries: builds a suite
+/// entry's operands (A·A for square matrices, A·Aᵀ with a precomputed
+/// transpose otherwise, exactly as in the paper's Section 4), runs one
+/// algorithm, and returns the measurements all tables are built from.
+
+#include <string>
+#include <vector>
+
+#include "baselines/algorithm.hpp"
+#include "suite/suite.hpp"
+
+namespace acs {
+
+struct BenchMeasurement {
+  std::string matrix;
+  std::string algorithm;
+  std::string precision;  // "float" / "double"
+  offset_t temp_products = 0;
+  offset_t nnz_a = 0;
+  offset_t nnz_c = 0;
+  double avg_row_len_a = 0.0;
+  double gflops = 0.0;
+  double sim_time_s = 0.0;
+  SpgemmStats stats;
+};
+
+/// Run `algo` on `entry` with value type T.
+template <class T>
+BenchMeasurement run_benchmark(const SuiteEntry& entry,
+                               const SpgemmAlgorithm<T>& algo);
+
+/// Run the whole algorithm list on one entry.
+template <class T>
+std::vector<BenchMeasurement> run_benchmarks(
+    const SuiteEntry& entry,
+    const std::vector<std::unique_ptr<SpgemmAlgorithm<T>>>& algos);
+
+/// Harmonic mean (the paper's Table 1 aggregation of per-matrix speedups).
+double harmonic_mean(const std::vector<double>& v);
+
+extern template BenchMeasurement run_benchmark(const SuiteEntry&,
+                                               const SpgemmAlgorithm<float>&);
+extern template BenchMeasurement run_benchmark(const SuiteEntry&,
+                                               const SpgemmAlgorithm<double>&);
+extern template std::vector<BenchMeasurement> run_benchmarks(
+    const SuiteEntry&,
+    const std::vector<std::unique_ptr<SpgemmAlgorithm<float>>>&);
+extern template std::vector<BenchMeasurement> run_benchmarks(
+    const SuiteEntry&,
+    const std::vector<std::unique_ptr<SpgemmAlgorithm<double>>>&);
+
+}  // namespace acs

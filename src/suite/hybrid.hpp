@@ -1,0 +1,55 @@
+#pragma once
+/// \file hybrid.hpp
+/// The paper's proposed future extension (Conclusion): "extending the
+/// adaptive behaviour of our chunk-based approach to choose between
+/// alternative approaches (ESC, hashing, merging) depending on the load".
+/// This dispatcher inspects the cheap global statistics available before
+/// launch — average row lengths of A and B and the estimated compaction
+/// factor — and routes the multiplication to AC-SpGEMM (the highly sparse
+/// regime it dominates) or the hash strategy (the high-compaction dense
+/// regime where ESC's per-product cost is too high). Note that the hybrid
+/// inherits non-bit-stability whenever it picks the hash path; `last_choice`
+/// reports which path ran.
+
+#include "baselines/algorithm.hpp"
+#include "core/config.hpp"
+
+namespace acs {
+
+template <class T>
+class HybridSpgemm final : public SpgemmAlgorithm<T> {
+ public:
+  /// Route to hashing when avg row length exceeds `dense_threshold` (the
+  /// paper's 42-split by default) and the estimated compaction factor
+  /// exceeds `compaction_threshold` (ESC's weakness needs both density and
+  /// heavy duplication to lose).
+  explicit HybridSpgemm(Config ac_config = {}, double dense_threshold = 42.0,
+                        double compaction_threshold = 4.0)
+      : cfg_(ac_config),
+        dense_threshold_(dense_threshold),
+        compaction_threshold_(compaction_threshold) {}
+
+  [[nodiscard]] std::string name() const override { return "Hybrid"; }
+  /// Bit-stable only while the ESC path is chosen; conservatively false.
+  [[nodiscard]] bool bit_stable() const override { return false; }
+
+  Csr<T> multiply(const Csr<T>& a, const Csr<T>& b,
+                  SpgemmStats* stats) const override;
+
+  enum class Choice { AcSpgemm, Hash };
+  [[nodiscard]] Choice last_choice() const { return last_choice_; }
+
+  /// The routing predicate, exposed for tests and benches.
+  [[nodiscard]] Choice choose(const Csr<T>& a, const Csr<T>& b) const;
+
+ private:
+  Config cfg_;
+  double dense_threshold_;
+  double compaction_threshold_;
+  mutable Choice last_choice_ = Choice::AcSpgemm;
+};
+
+extern template class HybridSpgemm<float>;
+extern template class HybridSpgemm<double>;
+
+}  // namespace acs

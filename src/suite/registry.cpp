@@ -1,0 +1,38 @@
+#include "suite/registry.hpp"
+
+#include "baselines/bhsparse.hpp"
+#include "baselines/cusparse_like.hpp"
+#include "baselines/kokkos_like.hpp"
+#include "baselines/nsparse_like.hpp"
+#include "baselines/rmerge.hpp"
+#include "core/acspgemm.hpp"
+
+namespace acs {
+
+template <class T>
+Csr<T> AcSpgemmAlgorithm<T>::multiply(const Csr<T>& a, const Csr<T>& b,
+                                      SpgemmStats* stats) const {
+  return acs::multiply(a, b, cfg_, stats);
+}
+
+template <class T>
+std::vector<std::unique_ptr<SpgemmAlgorithm<T>>> make_paper_algorithms(
+    const Config& ac_config) {
+  std::vector<std::unique_ptr<SpgemmAlgorithm<T>>> algos;
+  algos.push_back(std::make_unique<AcSpgemmAlgorithm<T>>(ac_config));
+  algos.push_back(std::make_unique<CusparseLike<T>>());
+  algos.push_back(std::make_unique<BhSparse<T>>());
+  algos.push_back(std::make_unique<RMerge<T>>());
+  algos.push_back(std::make_unique<NsparseLike<T>>());
+  algos.push_back(std::make_unique<KokkosLike<T>>());
+  return algos;
+}
+
+template class AcSpgemmAlgorithm<float>;
+template class AcSpgemmAlgorithm<double>;
+template std::vector<std::unique_ptr<SpgemmAlgorithm<float>>>
+make_paper_algorithms(const Config&);
+template std::vector<std::unique_ptr<SpgemmAlgorithm<double>>>
+make_paper_algorithms(const Config&);
+
+}  // namespace acs

@@ -1,0 +1,42 @@
+#pragma once
+/// \file registry.hpp
+/// Factory for the full set of SpGEMM implementations the paper's
+/// evaluation compares: AC-SpGEMM plus cuSPARSE-, bhSparse-, RMerge-,
+/// nsparse- and Kokkos-style baselines.
+
+#include <memory>
+#include <vector>
+
+#include "baselines/algorithm.hpp"
+#include "core/config.hpp"
+
+namespace acs {
+
+/// AC-SpGEMM behind the common benchmarking interface.
+template <class T>
+class AcSpgemmAlgorithm final : public SpgemmAlgorithm<T> {
+ public:
+  explicit AcSpgemmAlgorithm(Config cfg = {}) : cfg_(cfg) {}
+  [[nodiscard]] std::string name() const override { return "AC-SpGEMM"; }
+  [[nodiscard]] bool bit_stable() const override { return true; }
+  Csr<T> multiply(const Csr<T>& a, const Csr<T>& b,
+                  SpgemmStats* stats) const override;
+
+ private:
+  Config cfg_;
+};
+
+/// The six GPU methods of the paper's Table 1/Figs. 5-12, in the paper's
+/// plot order: AC-SpGEMM, cuSparse, bhSparse, RMerge, nsparse, Kokkos.
+template <class T>
+std::vector<std::unique_ptr<SpgemmAlgorithm<T>>> make_paper_algorithms(
+    const Config& ac_config = {});
+
+extern template class AcSpgemmAlgorithm<float>;
+extern template class AcSpgemmAlgorithm<double>;
+extern template std::vector<std::unique_ptr<SpgemmAlgorithm<float>>>
+make_paper_algorithms(const Config&);
+extern template std::vector<std::unique_ptr<SpgemmAlgorithm<double>>>
+make_paper_algorithms(const Config&);
+
+}  // namespace acs

@@ -1,0 +1,223 @@
+#include "suite/suite.hpp"
+
+#include <stdexcept>
+
+#include "matrix/generators.hpp"
+#include "matrix/stats.hpp"
+
+namespace acs {
+
+template <class T>
+Csr<T> build_matrix(const SuiteEntry& entry) {
+  const GenSpec& g = entry.spec;
+  switch (g.kind) {
+    case GenSpec::Kind::Uniform:
+      return gen_uniform_random<T>(g.rows, g.cols, g.avg, g.spread, g.seed);
+    case GenSpec::Kind::UniformLocal:
+      return gen_uniform_local<T>(g.rows, g.cols, g.avg, g.spread, g.p1,
+                                  g.seed);
+    case GenSpec::Kind::Powerlaw:
+      return gen_powerlaw<T>(g.rows, g.cols, g.avg, g.spread, g.p1, g.seed);
+    case GenSpec::Kind::Banded:
+      return gen_banded<T>(g.rows, g.p1, g.seed);
+    case GenSpec::Kind::Stencil2D:
+      return gen_stencil_2d<T>(g.rows, g.cols, g.seed);
+    case GenSpec::Kind::Stencil3D:
+      return gen_stencil_3d<T>(g.rows, g.cols, g.p1, g.seed);
+    case GenSpec::Kind::Rmat:
+      return gen_rmat<T>(static_cast<int>(g.p1), g.avg, 0.57, 0.19, 0.19,
+                         g.seed);
+    case GenSpec::Kind::BlockDense:
+      return gen_block_dense<T>(g.rows, g.cols, g.p1, g.p2, g.seed);
+    case GenSpec::Kind::UniformWithLongRows:
+      return inject_long_rows<T>(
+          gen_uniform_random<T>(g.rows, g.cols, g.avg, g.spread, g.seed), g.p1,
+          g.p2, g.seed + 1);
+  }
+  throw std::logic_error("suite: unknown generator kind");
+}
+
+const std::vector<SuiteEntry>& showcase_suite() {
+  // Scaled-down structural analogues of the paper's Table 2 matrices. The
+  // comments give the paper's (avg len, max len) the regime imitates.
+  static const std::vector<SuiteEntry> entries = {
+      // language: 0.4M rows, a=3.0, few very long rows (max 11.5k)
+      {"language-like", "language graph", true,
+       {GenSpec::Kind::UniformWithLongRows, 12000, 12000, 3.0, 1.0, 3, 1500, 101}},
+      // scircuit: a=5.6, heavy tail to 353
+      {"scircuit-like", "circuit simulation", true,
+       {GenSpec::Kind::Powerlaw, 9000, 9000, 5.6, 1.8, 350, 0, 102}},
+      // stat96v2: tall-skinny LP matrix, a=98 (non-square -> A·Aᵀ)
+      {"stat96v2-like", "linear programming", false,
+       {GenSpec::Kind::Uniform, 300, 9600, 98.0, 20.0, 0, 0, 103}},
+      // poisson3Da: 3D FEM, a=26
+      {"poisson3Da-like", "fluid dynamics", true,
+       {GenSpec::Kind::Banded, 2800, 0, 0.0, 0.0, 13, 0, 104}},
+      // 144: mesh partitioning, a=14.9, max 26 — mesh matrices are
+      // column-local
+      {"144-like", "2D/3D mesh", true,
+       {GenSpec::Kind::UniformLocal, 6000, 6000, 14.9, 4.0, 1024, 0, 105}},
+      // asia_osm: road network, a=2.1, max 9 — extreme locality
+      {"asia_osm-like", "road network", true,
+       {GenSpec::Kind::UniformLocal, 24000, 24000, 2.1, 1.0, 128, 0, 106}},
+      // webbase-1M: web graph, a=3.1 with rows up to 4.7k
+      {"webbase-like", "web graph", true,
+       {GenSpec::Kind::UniformWithLongRows, 14000, 14000, 3.0, 1.5, 4, 2600, 107}},
+      // atmosmodl: 7-point stencil, a=6.9
+      {"atmosmodl-like", "atmospheric model", true,
+       {GenSpec::Kind::Stencil3D, 16, 16, 0.0, 0.0, 64, 0, 108}},
+      // filter3D: a=25.4, max 112 — 3D FEM discretization, column-local
+      {"filter3D-like", "3D filter design", true,
+       {GenSpec::Kind::UniformLocal, 3500, 3500, 25.4, 6.0, 2048, 0, 109}},
+      // bibd_19_9: 171 rows x 92k cols, enormously long rows (non-square)
+      {"bibd-like", "combinatorics", false,
+       {GenSpec::Kind::BlockDense, 48, 9000, 0.0, 0.0, 600, 3, 110}},
+      // TSOPF_RS_b2383: local dense blocks, a=424 (scaled to a=128)
+      {"TSOPF-like", "optimal power flow", true,
+       {GenSpec::Kind::BlockDense, 400, 400, 0.0, 0.0, 64, 2, 111}},
+      // hugebubbles: huge 2D mesh, a=3.0, max 3
+      {"hugebubbles-like", "2D mesh", true,
+       {GenSpec::Kind::Stencil2D, 160, 160, 0.0, 0.0, 0, 0, 112}},
+      // cant: FEM cantilever, a=64, high compaction under A·A
+      {"cant-like", "FEM structural", true,
+       {GenSpec::Kind::Banded, 2000, 0, 0.0, 0.0, 32, 0, 113}},
+      // landmark: tall-skinny least squares, a=16 (non-square)
+      {"landmark-like", "least squares", false,
+       {GenSpec::Kind::Uniform, 2000, 300, 10.0, 0.5, 0, 0, 114}},
+      // hood: FEM car body, a=48.8
+      {"hood-like", "FEM structural", true,
+       {GenSpec::Kind::Banded, 2600, 0, 0.0, 0.0, 24, 0, 115}},
+      // TSC_OPF_1047: a=247.8, very large dense blocks (scaled to a=160)
+      {"TSC_OPF-like", "optimal power flow", true,
+       {GenSpec::Kind::BlockDense, 250, 250, 0.0, 0.0, 80, 2, 116}},
+  };
+  return entries;
+}
+
+const std::vector<SuiteEntry>& full_suite() {
+  static const std::vector<SuiteEntry> entries = [] {
+    std::vector<SuiteEntry> v = showcase_suite();
+    std::uint64_t seed = 1000;
+    auto add = [&](std::string name, std::string domain, bool square,
+                   GenSpec spec) {
+      spec.seed = ++seed;
+      v.push_back({std::move(name), std::move(domain), square, spec});
+    };
+    // Uniform density ladder (the Fig. 5 trend axis: temporary products
+    // grow with avg row length and size).
+    // Row counts shrink as density grows to keep intermediate products
+    // (which scale with rows × avg²) at a simulator-friendly level. Most
+    // entries use column-local draws (window p1), matching the locality of
+    // real application matrices; the "-g" variants are fully global.
+    struct Uni {
+      const char* n;
+      double avg;
+      index_t rows_s, rows_m;
+      index_t window;
+    };
+    for (const Uni& u : {Uni{"uni-a2", 2, 8000, 20000, 512},
+                         Uni{"uni-a4", 4, 8000, 20000, 512},
+                         Uni{"uni-a8", 8, 6000, 16000, 1024},
+                         Uni{"uni-a12", 12, 5000, 12000, 1024},
+                         Uni{"uni-a16", 16, 3000, 9000, 1024},
+                         Uni{"uni-a24", 24, 2000, 5000, 2048},
+                         Uni{"uni-a32", 32, 1200, 3000, 2048},
+                         // Dense entries use tight windows: real dense
+                         // application matrices (FEM, power flow) combine
+                         // many products per output entry (compaction 10+).
+                         Uni{"uni-a48", 48, 1300, 1900, 256},
+                         Uni{"uni-a64", 64, 700, 1100, 256},
+                         Uni{"uni-a96", 96, 350, 550, 384}}) {
+      add(std::string(u.n) + "-s", "synthetic local-uniform", true,
+          {GenSpec::Kind::UniformLocal, u.rows_s, u.rows_s, u.avg, u.avg / 4,
+           u.window, 0, 0});
+      add(std::string(u.n) + "-m", "synthetic local-uniform", true,
+          {GenSpec::Kind::UniformLocal, u.rows_m, u.rows_m, u.avg, u.avg / 4,
+           u.window, 0, 0});
+    }
+    add("uni-a8-g", "synthetic global-uniform", true,
+        {GenSpec::Kind::Uniform, 6000, 6000, 8.0, 2.0, 0, 0, 0});
+    add("uni-a24-g", "synthetic global-uniform", true,
+        {GenSpec::Kind::Uniform, 2000, 2000, 24.0, 6.0, 0, 0, 0});
+    // Power-law graphs at several scales/exponents (social/web regimes).
+    struct Pl {
+      const char* n;
+      index_t rows;
+      double avg, alpha;
+      index_t mx;
+    };
+    for (const Pl& p : {Pl{"pl-web-s", 4000, 4.0, 1.5, 800},
+                        Pl{"pl-web-m", 12000, 5.0, 1.5, 800},
+                        Pl{"pl-social-s", 5000, 8.0, 1.8, 600},
+                        Pl{"pl-social-m", 10000, 12.0, 1.8, 500},
+                        Pl{"pl-cite-s", 6000, 6.0, 2.2, 300}}) {
+      add(p.n, "power-law graph", true,
+          {GenSpec::Kind::Powerlaw, p.rows, p.rows, p.avg, p.alpha, p.mx, 0, 0});
+    }
+    // R-MAT graphs (Graph500 regime).
+    struct Rm {
+      const char* n;
+      index_t scale;
+      double ef;
+    };
+    for (const Rm& p :
+         {Rm{"rmat-s11", 11, 6.0}, Rm{"rmat-s12", 12, 6.0}, Rm{"rmat-s13", 13, 4.0}}) {
+      add(p.n, "R-MAT graph", true,
+          {GenSpec::Kind::Rmat, 0, 0, p.ef, 0.0, p.scale, 0, 0});
+    }
+    // FEM/banded ladder (denser regime, crosses the a=42 split).
+    struct Fem {
+      const char* n;
+      index_t rows, band;
+    };
+    for (const Fem& p : {Fem{"fem-b4", 6000, 4}, Fem{"fem-b8", 4000, 8},
+                         Fem{"fem-b16", 2500, 16}, Fem{"fem-b28", 1600, 28},
+                         Fem{"fem-b40", 1100, 40}}) {
+      add(p.n, "FEM banded", true,
+          {GenSpec::Kind::Banded, p.rows, 0, 0.0, 0.0, p.band, 0, 0});
+    }
+    // Stencils (structured meshes).
+    add("mesh2d-s", "2D stencil", true,
+        {GenSpec::Kind::Stencil2D, 90, 90, 0, 0, 0, 0, 0});
+    add("mesh2d-m", "2D stencil", true,
+        {GenSpec::Kind::Stencil2D, 150, 150, 0, 0, 0, 0, 0});
+    add("mesh3d-s", "3D stencil", true,
+        {GenSpec::Kind::Stencil3D, 18, 18, 0, 0, 18, 0, 0});
+    add("mesh3d-m", "3D stencil", true,
+        {GenSpec::Kind::Stencil3D, 26, 26, 0, 0, 26, 0, 0});
+    // Long-row specials (webbase/wiki regime).
+    add("longrow-few", "web graph", true,
+        {GenSpec::Kind::UniformWithLongRows, 8000, 8000, 2.5, 1.0, 2, 2200, 0});
+    add("longrow-many", "web graph", true,
+        {GenSpec::Kind::UniformWithLongRows, 10000, 10000, 3.0, 1.0, 12, 1200, 0});
+    // Dense-block specials (TSOPF / quantum chemistry regime).
+    add("blocks-narrow", "power flow", true,
+        {GenSpec::Kind::BlockDense, 1200, 1200, 0.0, 0.0, 48, 2, 0});
+    add("blocks-wide", "power flow", true,
+        {GenSpec::Kind::BlockDense, 300, 300, 0.0, 0.0, 64, 2, 0});
+    // Tall/skinny LP-style rectangles (A·Aᵀ).
+    add("lp-wide", "linear programming", false,
+        {GenSpec::Kind::Uniform, 500, 12000, 60.0, 15.0, 0, 0, 0});
+    add("lp-tall", "linear programming", false,
+        {GenSpec::Kind::Uniform, 6000, 600, 6.0, 2.0, 0, 0, 0});
+    // Hypersparse road-network regime (extreme column locality).
+    add("road-s", "road network", true,
+        {GenSpec::Kind::UniformLocal, 16000, 16000, 2.0, 0.5, 96, 0, 0});
+    add("road-m", "road network", true,
+        {GenSpec::Kind::UniformLocal, 30000, 30000, 2.2, 0.8, 96, 0, 0});
+    return v;
+  }();
+  return entries;
+}
+
+bool is_highly_sparse(const SuiteEntry& entry) {
+  // Evaluate the actual average row length of the generated matrix — the
+  // paper bins by the measured value, not the target.
+  const auto m = build_matrix<double>(entry);
+  return row_stats(m).avg_len <= 42.0;
+}
+
+template Csr<float> build_matrix<float>(const SuiteEntry&);
+template Csr<double> build_matrix<double>(const SuiteEntry&);
+
+}  // namespace acs

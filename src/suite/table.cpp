@@ -1,0 +1,101 @@
+#include "suite/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace acs {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << "  ";
+      out << std::string(widths[i] - row[i].size(), ' ') << row[i];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+std::string TextTable::si(double v) {
+  const char* suffix = "";
+  if (std::abs(v) >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (std::abs(v) >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (std::abs(v) >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  }
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(std::abs(v) >= 100 ? 0 : 1);
+  out << v << suffix;
+  return out.str();
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path);
+  if (!impl_->out) {
+    delete impl_;
+    throw std::runtime_error("csv: cannot open " + path);
+  }
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) impl_->out << ",";
+    const std::string& cell = cells[i];
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      impl_->out << '"';
+      for (char ch : cell) {
+        if (ch == '"') impl_->out << '"';
+        impl_->out << ch;
+      }
+      impl_->out << '"';
+    } else {
+      impl_->out << cell;
+    }
+  }
+  impl_->out << "\n";
+}
+
+}  // namespace acs

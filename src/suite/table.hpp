@@ -1,0 +1,45 @@
+#pragma once
+/// \file table.hpp
+/// Plain-text table and CSV output helpers for the benchmark binaries. The
+/// paper artifact writes both a console report and a .csv per run
+/// (Appendix A.4); these helpers reproduce that.
+
+#include <string>
+#include <vector>
+
+namespace acs {
+
+/// Right-aligned fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column widths fitted to content, separated by two spaces.
+  [[nodiscard]] std::string str() const;
+
+  /// Format helpers used by the benches.
+  static std::string num(double v, int precision = 2);
+  static std::string si(double v);  ///< 12345 -> "12.3k", 2.5e6 -> "2.5M"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (RFC-4180-style quoting for commas/quotes).
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace acs

@@ -1,0 +1,68 @@
+#include "suite/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace acs {
+
+std::string VerifyReport::summary() const {
+  std::ostringstream out;
+  if (ok()) {
+    out << "OK (max rel error " << max_rel_error << ", Frobenius error "
+        << frobenius_error << ")";
+  } else if (!structure_matches) {
+    out << "STRUCTURE MISMATCH";
+    if (first_bad_row >= 0)
+      out << " at row " << first_bad_row << ", position " << first_bad_position;
+  } else {
+    out << "VALUE MISMATCH (max rel error " << max_rel_error
+        << ", Frobenius error " << frobenius_error << ")";
+  }
+  return out.str();
+}
+
+template <class T>
+VerifyReport verify_product(const Csr<T>& got, const Csr<T>& want,
+                            double rel_tol) {
+  VerifyReport r;
+  if (got.rows != want.rows || got.cols != want.cols) return r;
+
+  // Structural comparison with first-mismatch localization.
+  for (index_t row = 0; row < got.rows; ++row) {
+    const index_t gb = got.row_ptr[row], ge = got.row_ptr[row + 1];
+    const index_t wb = want.row_ptr[row], we = want.row_ptr[row + 1];
+    if (ge - gb != we - wb) {
+      r.first_bad_row = row;
+      r.first_bad_position = std::min(ge - gb, we - wb);
+      return r;
+    }
+    for (index_t k = 0; k < ge - gb; ++k) {
+      if (got.col_idx[static_cast<std::size_t>(gb + k)] !=
+          want.col_idx[static_cast<std::size_t>(wb + k)]) {
+        r.first_bad_row = row;
+        r.first_bad_position = k;
+        return r;
+      }
+    }
+  }
+  r.structure_matches = true;
+
+  double frob = 0.0;
+  for (std::size_t i = 0; i < got.values.size(); ++i) {
+    const double g = static_cast<double>(got.values[i]);
+    const double w = static_cast<double>(want.values[i]);
+    const double diff = std::abs(g - w);
+    frob += diff * diff;
+    const double scale = std::max({std::abs(g), std::abs(w), 1.0});
+    r.max_rel_error = std::max(r.max_rel_error, diff / scale);
+  }
+  r.frobenius_error = std::sqrt(frob);
+  r.values_match = r.max_rel_error <= rel_tol;
+  return r;
+}
+
+template VerifyReport verify_product(const Csr<float>&, const Csr<float>&, double);
+template VerifyReport verify_product(const Csr<double>&, const Csr<double>&, double);
+
+}  // namespace acs

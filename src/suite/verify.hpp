@@ -1,0 +1,35 @@
+#pragma once
+/// \file verify.hpp
+/// Structured product verification — the artifact's "confirm the resulting
+/// output matrix by comparing it to a host-based solution" as a reusable
+/// report instead of a bool: structural diff location, value error norms,
+/// and a human-readable summary.
+
+#include <string>
+
+#include "matrix/csr.hpp"
+
+namespace acs {
+
+struct VerifyReport {
+  bool structure_matches = false;
+  bool values_match = false;        ///< within the given tolerance
+  /// First structural mismatch (row, position) or (-1, -1).
+  index_t first_bad_row = -1;
+  index_t first_bad_position = -1;
+  double max_rel_error = 0.0;       ///< over matching structure
+  double frobenius_error = 0.0;     ///< ||got - want||_F
+  [[nodiscard]] bool ok() const { return structure_matches && values_match; }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compare `got` against the reference `want` (tolerance relative per
+/// entry). Dimension mismatch yields a report with structure_matches=false.
+template <class T>
+VerifyReport verify_product(const Csr<T>& got, const Csr<T>& want,
+                            double rel_tol = 1e-10);
+
+extern template VerifyReport verify_product(const Csr<float>&, const Csr<float>&, double);
+extern template VerifyReport verify_product(const Csr<double>&, const Csr<double>&, double);
+
+}  // namespace acs

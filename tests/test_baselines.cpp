@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bhsparse.hpp"
+#include "baselines/cusparse_like.hpp"
+#include "baselines/esc_global.hpp"
+#include "baselines/kokkos_like.hpp"
+#include "baselines/nsparse_like.hpp"
+#include "baselines/rmerge.hpp"
+#include "baselines/spa_gustavson.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/transpose.hpp"
+#include "test_util.hpp"
+
+namespace acs {
+namespace {
+
+using testutil::quantize;
+
+/// Every baseline must agree exactly with the oracle on quantized values.
+template <class Fn>
+void check_against_oracle(Fn&& fn) {
+  const auto square = quantize(gen_powerlaw<double>(700, 700, 6.0, 1.7, 250, 51));
+  const auto ref_sq = spa_multiply(square, square);
+  const auto c_sq = fn(square, square);
+  ASSERT_EQ(c_sq.validate(), "");
+  EXPECT_TRUE(c_sq.equals_exact(ref_sq));
+
+  const auto rect = quantize(gen_uniform_random<double>(250, 900, 10.0, 4.0, 52));
+  const auto rect_t = transpose(rect);
+  const auto ref_r = spa_multiply(rect, rect_t);
+  const auto c_r = fn(rect, rect_t);
+  EXPECT_TRUE(c_r.equals_exact(ref_r));
+
+  Csr<double> empty;
+  empty.rows = empty.cols = 6;
+  empty.row_ptr.assign(7, 0);
+  EXPECT_EQ(fn(empty, empty).nnz(), 0);
+}
+
+TEST(Baselines, EscGlobalMatchesOracle) {
+  check_against_oracle([](const auto& a, const auto& b) {
+    return esc_global_multiply(a, b);
+  });
+}
+
+TEST(Baselines, NsparseMatchesOracle) {
+  check_against_oracle([](const auto& a, const auto& b) {
+    return nsparse_multiply(a, b);
+  });
+}
+
+TEST(Baselines, CusparseLikeMatchesOracle) {
+  check_against_oracle([](const auto& a, const auto& b) {
+    return cusparse_like_multiply(a, b);
+  });
+}
+
+TEST(Baselines, RmergeMatchesOracle) {
+  check_against_oracle([](const auto& a, const auto& b) {
+    return rmerge_multiply(a, b);
+  });
+}
+
+TEST(Baselines, BhsparseMatchesOracle) {
+  check_against_oracle([](const auto& a, const auto& b) {
+    return bhsparse_multiply(a, b);
+  });
+}
+
+TEST(Baselines, KokkosLikeMatchesOracle) {
+  check_against_oracle([](const auto& a, const auto& b) {
+    return kokkos_like_multiply(a, b);
+  });
+}
+
+TEST(Baselines, RmergeHandlesVeryLongRowsOfA) {
+  // Rows far beyond the merge width force multiple factorization levels.
+  const auto a = quantize(gen_uniform_random<double>(60, 500, 150.0, 30.0, 53));
+  const auto b = quantize(gen_uniform_random<double>(500, 300, 4.0, 1.0, 54));
+  EXPECT_TRUE(rmerge_multiply(a, b).equals_exact(spa_multiply(a, b)));
+}
+
+TEST(Baselines, HashMethodsNotBitStableUnderScheduleChange) {
+  // The paper's dagger: hash-based methods give different floating-point
+  // results under different hardware schedules. Seeds emulate schedules.
+  auto m = gen_powerlaw<float>(600, 600, 8.0, 1.7, 200, 55);
+  for (std::size_t i = 0; i < m.values.size(); ++i)
+    m.values[i] *= ((i % 5 == 0) ? 1e5f : 1e-5f);
+
+  const auto c0 = nsparse_multiply(m, m, nullptr, 1);
+  const auto c1 = nsparse_multiply(m, m, nullptr, 2);
+  EXPECT_EQ(c0.col_idx, c1.col_idx);  // structure is schedule-independent
+  EXPECT_FALSE(c0.values == c1.values);
+
+  const auto k0 = kokkos_like_multiply(m, m, nullptr, 1);
+  const auto k1 = kokkos_like_multiply(m, m, nullptr, 2);
+  EXPECT_FALSE(k0.values == k1.values);
+
+  const auto u0 = cusparse_like_multiply(m, m, nullptr, 1);
+  const auto u1 = cusparse_like_multiply(m, m, nullptr, 2);
+  EXPECT_FALSE(u0.values == u1.values);
+}
+
+TEST(Baselines, MergeBasedMethodsAreBitStable) {
+  auto m = gen_powerlaw<float>(500, 500, 7.0, 1.7, 150, 56);
+  for (std::size_t i = 0; i < m.values.size(); ++i)
+    m.values[i] *= ((i % 5 == 0) ? 1e5f : 1e-5f);
+  EXPECT_TRUE(rmerge_multiply(m, m).equals_exact(rmerge_multiply(m, m)));
+  EXPECT_TRUE(bhsparse_multiply(m, m).equals_exact(bhsparse_multiply(m, m)));
+  EXPECT_TRUE(esc_global_multiply(m, m).equals_exact(esc_global_multiply(m, m)));
+}
+
+TEST(Baselines, StatsHaveDistinctCostProfiles) {
+  const auto m = gen_uniform_random<double>(2000, 2000, 8.0, 3.0, 57);
+  SpgemmStats esc, hash;
+  esc_global_multiply(m, m, &esc);
+  nsparse_multiply(m, m, &hash);
+  // ESC-global round-trips every product through global memory; the hash
+  // method keeps tables in scratchpad — its global traffic must be far
+  // smaller and its pool negligible.
+  EXPECT_GT(esc.metrics.global_bytes_coalesced,
+            4 * hash.metrics.global_bytes_coalesced);
+  EXPECT_GT(esc.pool_bytes, 10 * (hash.pool_bytes + 1));
+  EXPECT_GT(hash.metrics.hash_probes, 0u);
+  EXPECT_EQ(esc.metrics.hash_probes, 0u);
+}
+
+TEST(Baselines, DimensionMismatchThrowsEverywhere) {
+  const auto a = gen_uniform_random<double>(10, 20, 3.0, 1.0, 58);
+  EXPECT_THROW(esc_global_multiply(a, a), std::invalid_argument);
+  EXPECT_THROW(nsparse_multiply(a, a), std::invalid_argument);
+  EXPECT_THROW(cusparse_like_multiply(a, a), std::invalid_argument);
+  EXPECT_THROW(rmerge_multiply(a, a), std::invalid_argument);
+  EXPECT_THROW(bhsparse_multiply(a, a), std::invalid_argument);
+  EXPECT_THROW(kokkos_like_multiply(a, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,73 @@
+#include "core/chunk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace acs {
+namespace {
+
+TEST(ChunkOrder, LexicographicOnBlockThenCounter) {
+  EXPECT_LT((ChunkOrder{1, 5}), (ChunkOrder{2, 0}));
+  EXPECT_LT((ChunkOrder{1, 5}), (ChunkOrder{1, 6}));
+  EXPECT_EQ((ChunkOrder{3, 3}), (ChunkOrder{3, 3}));
+}
+
+TEST(Chunk, ByteSizeRegular) {
+  Chunk<double> c;
+  c.rows = {0, 1};
+  c.row_offsets = {0, 2, 3};
+  c.cols = {1, 2, 3};
+  c.vals = {1.0, 2.0, 3.0};
+  EXPECT_EQ(c.byte_size(), 32 + 2 * sizeof(index_t) + 3 * (sizeof(index_t) + sizeof(double)));
+  EXPECT_EQ(c.entry_count(), 3);
+}
+
+TEST(Chunk, ByteSizeLongRowPointer) {
+  Chunk<float> c;
+  c.is_long_row = true;
+  c.long_len = 100000;
+  EXPECT_EQ(c.byte_size(), 48u);  // header only, no payload
+  EXPECT_EQ(c.entry_count(), 100000);
+}
+
+TEST(ChunkPool, AllocatesUpToCapacity) {
+  ChunkPool pool(100);
+  EXPECT_TRUE(pool.try_allocate(60));
+  EXPECT_TRUE(pool.try_allocate(40));
+  EXPECT_EQ(pool.used(), 100u);
+}
+
+TEST(ChunkPool, RejectsOverflowWithoutLeaking) {
+  ChunkPool pool(100);
+  EXPECT_TRUE(pool.try_allocate(60));
+  EXPECT_FALSE(pool.try_allocate(41));
+  EXPECT_EQ(pool.used(), 60u);  // failed allocation rolled back
+  EXPECT_TRUE(pool.try_allocate(40));
+}
+
+TEST(ChunkPool, GrowEnablesFurtherAllocation) {
+  ChunkPool pool(10);
+  EXPECT_FALSE(pool.try_allocate(11));
+  pool.grow(20);
+  EXPECT_EQ(pool.capacity(), 30u);
+  EXPECT_TRUE(pool.try_allocate(11));
+}
+
+TEST(ChunkPool, ConcurrentAllocationNeverExceedsCapacity) {
+  ChunkPool pool(1000);
+  std::vector<std::thread> workers;
+  std::atomic<int> granted{0};
+  for (int t = 0; t < 8; ++t)
+    workers.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i)
+        if (pool.try_allocate(1)) granted++;
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(granted.load(), 1000);
+  EXPECT_EQ(pool.used(), 1000u);
+}
+
+}  // namespace
+}  // namespace acs

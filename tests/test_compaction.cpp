@@ -1,0 +1,129 @@
+#include "core/compaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace acs {
+namespace {
+
+KeyCodec codec() { return KeyCodec::make(0, 15, 0, 255, true, 255, 1023); }
+
+TEST(Compaction, CombinesEqualKeys) {
+  const auto c = codec();
+  std::vector<std::uint64_t> keys{c.encode(0, 1), c.encode(0, 1), c.encode(0, 2)};
+  std::vector<double> vals{1.0, 2.0, 5.0};
+  sim::MetricCounters m;
+  const auto out = compact_sorted<double>(keys, vals, c, m);
+  ASSERT_EQ(out.keys.size(), 2u);
+  EXPECT_EQ(out.vals[0], 3.0);
+  EXPECT_EQ(out.vals[1], 5.0);
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_EQ(out.rows[0], (std::pair<index_t, index_t>{0, 2}));
+}
+
+TEST(Compaction, CountsPerRow) {
+  const auto c = codec();
+  std::vector<std::uint64_t> keys{c.encode(0, 1), c.encode(0, 3),
+                                  c.encode(2, 3), c.encode(2, 3),
+                                  c.encode(5, 9)};
+  std::vector<double> vals{1, 1, 1, 1, 1};
+  sim::MetricCounters m;
+  const auto out = compact_sorted<double>(keys, vals, c, m);
+  ASSERT_EQ(out.rows.size(), 3u);
+  EXPECT_EQ(out.rows[0], (std::pair<index_t, index_t>{0, 2}));
+  EXPECT_EQ(out.rows[1], (std::pair<index_t, index_t>{2, 1}));
+  EXPECT_EQ(out.rows[2], (std::pair<index_t, index_t>{5, 1}));
+  EXPECT_EQ(out.keys.size(), 4u);
+}
+
+TEST(Compaction, AccumulatesLeftToRight) {
+  // Bit-stability depends on strictly sequential left-to-right sums within
+  // an equal-key run: ((a+b)+c), never (a+(b+c)).
+  const auto c = codec();
+  const float a = 1e8f, b2 = 1.0f, c3 = -1e8f;
+  std::vector<std::uint64_t> keys{c.encode(1, 1), c.encode(1, 1), c.encode(1, 1)};
+  std::vector<float> vals{a, b2, c3};
+  sim::MetricCounters m;
+  const auto out = compact_sorted<float>(keys, vals, c, m);
+  ASSERT_EQ(out.vals.size(), 1u);
+  EXPECT_EQ(out.vals[0], ((a + b2) + c3));
+}
+
+TEST(Compaction, SingleElement) {
+  const auto c = codec();
+  std::vector<std::uint64_t> keys{c.encode(7, 42)};
+  std::vector<double> vals{3.5};
+  sim::MetricCounters m;
+  const auto out = compact_sorted<double>(keys, vals, c, m);
+  ASSERT_EQ(out.keys.size(), 1u);
+  EXPECT_EQ(out.vals[0], 3.5);
+  EXPECT_EQ(out.rows[0], (std::pair<index_t, index_t>{7, 1}));
+}
+
+TEST(Compaction, EmptyBuffer) {
+  const auto c = codec();
+  sim::MetricCounters m;
+  const auto out = compact_sorted<double>(std::span<const std::uint64_t>{},
+                                          std::span<const double>{}, c, m);
+  EXPECT_TRUE(out.keys.empty());
+  EXPECT_TRUE(out.rows.empty());
+}
+
+TEST(Compaction, AllSameKey) {
+  const auto c = codec();
+  std::vector<std::uint64_t> keys(100, c.encode(3, 3));
+  std::vector<double> vals(100, 0.5);
+  sim::MetricCounters m;
+  const auto out = compact_sorted<double>(keys, vals, c, m);
+  ASSERT_EQ(out.keys.size(), 1u);
+  EXPECT_EQ(out.vals[0], 50.0);
+  EXPECT_EQ(out.rows[0], (std::pair<index_t, index_t>{3, 1}));
+}
+
+TEST(Compaction, AllDistinctKeys) {
+  const auto c = codec();
+  std::vector<std::uint64_t> keys;
+  std::vector<double> vals;
+  for (index_t i = 0; i < 16; ++i) {
+    keys.push_back(c.encode(i, static_cast<index_t>(i)));
+    vals.push_back(static_cast<double>(i));
+  }
+  sim::MetricCounters m;
+  const auto out = compact_sorted<double>(keys, vals, c, m);
+  EXPECT_EQ(out.keys.size(), 16u);
+  EXPECT_EQ(out.rows.size(), 16u);
+  for (const auto& [row, count] : out.rows) EXPECT_EQ(count, 1);
+}
+
+TEST(Compaction, PaperStateConstants) {
+  // The initial scan states of Algorithm 3.
+  EXPECT_EQ(compaction_detail::kStateEndComp, 0x00020003u);
+  EXPECT_EQ(compaction_detail::kStateEndRow, 0x00030003u);
+}
+
+TEST(Compaction, ScanOperatorResetsRowCounterAcrossRows) {
+  namespace cd = compaction_detail;
+  const auto c = codec();
+  cd::ScanElement<double> a{c.encode(0, 1), 1.0, cd::kStateEndRow};
+  cd::ScanElement<double> b{c.encode(1, 1), 2.0, cd::kStateEndRow};
+  const auto n = cd::combine_scan_operator(a, b, c);
+  // Row counter restarted at 1; total counter accumulated to 2.
+  EXPECT_EQ((n.state >> cd::kRowCountShift) & cd::kCounterMask, 1u);
+  EXPECT_EQ((n.state >> cd::kTotalCountShift) & cd::kCounterMask, 2u);
+  EXPECT_EQ(n.value, 2.0);
+}
+
+TEST(Compaction, ScanOperatorAccumulatesWithinRow) {
+  namespace cd = compaction_detail;
+  const auto c = codec();
+  cd::ScanElement<double> a{c.encode(4, 1), 1.0, cd::kStateEndComp};
+  cd::ScanElement<double> b{c.encode(4, 2), 2.0, cd::kStateEndRow};
+  const auto n = cd::combine_scan_operator(a, b, c);
+  EXPECT_EQ((n.state >> cd::kRowCountShift) & cd::kCounterMask, 2u);
+  EXPECT_EQ((n.state >> cd::kTotalCountShift) & cd::kCounterMask, 2u);
+  EXPECT_EQ(n.value, 2.0);  // different keys: value not combined
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,69 @@
+#include "matrix/coo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acs {
+namespace {
+
+TEST(Coo, SortAndCombineSumsDuplicates) {
+  Coo<double> coo;
+  coo.rows = 2;
+  coo.cols = 2;
+  coo.push(1, 1, 1.0);
+  coo.push(0, 0, 2.0);
+  coo.push(1, 1, 3.0);
+  coo.push(0, 1, 4.0);
+  coo.sort_and_combine();
+  ASSERT_EQ(coo.nnz(), 3);
+  EXPECT_EQ(coo.row_idx[0], 0);
+  EXPECT_EQ(coo.col_idx[0], 0);
+  EXPECT_EQ(coo.values[0], 2.0);
+  EXPECT_EQ(coo.values[2], 4.0);
+}
+
+TEST(Coo, ToCsrRoundTrip) {
+  Coo<double> coo;
+  coo.rows = 3;
+  coo.cols = 4;
+  coo.push(2, 3, 5.0);
+  coo.push(0, 1, 1.0);
+  coo.push(2, 0, 2.0);
+  auto csr = coo.to_csr();
+  EXPECT_EQ(csr.validate(), "");
+  EXPECT_EQ(csr.rows, 3);
+  EXPECT_EQ(csr.cols, 4);
+  EXPECT_EQ(csr.nnz(), 3);
+  EXPECT_EQ(csr.row_length(1), 0);
+  EXPECT_EQ(csr.row_length(2), 2);
+
+  auto back = Coo<double>::from_csr(csr);
+  EXPECT_EQ(back.nnz(), 3);
+  EXPECT_EQ(back.row_idx[0], 0);
+  EXPECT_EQ(back.row_idx[1], 2);
+  EXPECT_EQ(back.col_idx[1], 0);
+}
+
+TEST(Coo, EmptyToCsr) {
+  Coo<float> coo;
+  coo.rows = 5;
+  coo.cols = 5;
+  auto csr = coo.to_csr();
+  EXPECT_EQ(csr.validate(), "");
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_EQ(csr.rows, 5);
+}
+
+TEST(Coo, CombineIsDeterministicInInsertionOrder) {
+  // Floating-point sums depend on order; sort_and_combine must sum in
+  // insertion order so repeated conversion is bit-identical.
+  Coo<float> a, b;
+  a.rows = b.rows = 1;
+  a.cols = b.cols = 1;
+  const float vals[4] = {1e8f, 1.0f, -1e8f, 1.0f};
+  for (float v : vals) a.push(0, 0, v);
+  for (float v : vals) b.push(0, 0, v);
+  EXPECT_EQ(a.to_csr().values[0], b.to_csr().values[0]);
+}
+
+}  // namespace
+}  // namespace acs

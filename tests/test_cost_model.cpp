@@ -1,0 +1,85 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acs::sim {
+namespace {
+
+TEST(CostModel, MoreBytesTakeLonger) {
+  const DeviceConfig dev{};
+  MetricCounters small, large;
+  small.global_bytes_coalesced = 1 << 10;
+  large.global_bytes_coalesced = 1 << 20;
+  EXPECT_LT(block_time_s(small, dev), block_time_s(large, dev));
+}
+
+TEST(CostModel, ScatteredBytesCostMoreThanCoalesced) {
+  const DeviceConfig dev{};
+  MetricCounters co, sc;
+  co.global_bytes_coalesced = 1 << 20;
+  sc.global_bytes_scattered = 1 << 20;
+  EXPECT_GT(block_time_s(sc, dev), 4 * block_time_s(co, dev));
+}
+
+TEST(CostModel, SortPassesAddComputeTime) {
+  const DeviceConfig dev{};
+  MetricCounters few, many;
+  few.sort_pass_elements = 1 << 14;
+  many.sort_pass_elements = 1 << 22;
+  EXPECT_LT(block_time_s(few, dev), block_time_s(many, dev));
+}
+
+TEST(CostModel, EmptyKernelCostsLaunchOverheadOnly) {
+  const DeviceConfig dev{};
+  const auto t = schedule_blocks(std::vector<double>{}, dev);
+  EXPECT_DOUBLE_EQ(t.time_s, dev.kernel_launch_us * 1e-6);
+  EXPECT_DOUBLE_EQ(t.multiprocessor_load, 1.0);
+}
+
+TEST(CostModel, UniformBlocksBalancePerfectly) {
+  DeviceConfig dev{};
+  dev.num_sms = 4;
+  dev.blocks_per_sm = 1;
+  const std::vector<double> blocks(64, 1e-5);
+  const auto t = schedule_blocks(blocks, dev);
+  EXPECT_NEAR(t.multiprocessor_load, 1.0, 1e-9);
+  EXPECT_NEAR(t.time_s, 16 * 1e-5 + dev.kernel_launch_us * 1e-6, 1e-9);
+}
+
+TEST(CostModel, OneGiantBlockUnbalances) {
+  DeviceConfig dev{};
+  dev.num_sms = 4;
+  dev.blocks_per_sm = 1;
+  std::vector<double> blocks(8, 1e-6);
+  blocks.push_back(1e-3);
+  const auto t = schedule_blocks(blocks, dev);
+  EXPECT_LT(t.multiprocessor_load, 0.1);
+}
+
+TEST(CostModel, MakespanAtLeastCriticalPath) {
+  DeviceConfig dev{};
+  dev.num_sms = 2;
+  dev.blocks_per_sm = 2;
+  const std::vector<double> blocks{5e-4, 1e-6, 1e-6, 1e-6};
+  const auto t = schedule_blocks(blocks, dev);
+  EXPECT_GE(t.time_s, 5e-4);
+}
+
+TEST(CostModel, MetricsOverloadMatchesTimesOverload) {
+  const DeviceConfig dev{};
+  std::vector<MetricCounters> ms(3);
+  for (auto& m : ms) m.global_bytes_coalesced = 1 << 16;
+  std::vector<double> times(3, block_time_s(ms[0], dev));
+  EXPECT_DOUBLE_EQ(schedule_blocks(ms, dev).time_s,
+                   schedule_blocks(times, dev).time_s);
+}
+
+TEST(CostModel, AtomicsAddLatency) {
+  const DeviceConfig dev{};
+  MetricCounters none, some;
+  some.atomic_ops = 1000000;
+  EXPECT_GT(block_time_s(some, dev), block_time_s(none, dev));
+}
+
+}  // namespace
+}  // namespace acs::sim

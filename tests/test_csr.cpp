@@ -1,0 +1,132 @@
+#include "matrix/csr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acs {
+namespace {
+
+Csr<double> small_matrix() {
+  // [1 0 2]
+  // [0 0 0]
+  // [3 4 0]
+  Csr<double> m;
+  m.rows = 3;
+  m.cols = 3;
+  m.row_ptr = {0, 2, 2, 4};
+  m.col_idx = {0, 2, 0, 1};
+  m.values = {1, 2, 3, 4};
+  return m;
+}
+
+TEST(Csr, ValidSmallMatrix) {
+  EXPECT_EQ(small_matrix().validate(), "");
+}
+
+TEST(Csr, NnzAndRowLength) {
+  const auto m = small_matrix();
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(m.row_length(0), 2);
+  EXPECT_EQ(m.row_length(1), 0);
+  EXPECT_EQ(m.row_length(2), 2);
+}
+
+TEST(Csr, ValidateCatchesBadRowPtrSize) {
+  auto m = small_matrix();
+  m.row_ptr.pop_back();
+  EXPECT_NE(m.validate(), "");
+}
+
+TEST(Csr, ValidateCatchesNonMonotoneRowPtr) {
+  auto m = small_matrix();
+  m.row_ptr = {0, 3, 2, 4};
+  EXPECT_NE(m.validate(), "");
+}
+
+TEST(Csr, ValidateCatchesColumnOutOfRange) {
+  auto m = small_matrix();
+  m.col_idx[1] = 3;
+  EXPECT_NE(m.validate(), "");
+}
+
+TEST(Csr, ValidateCatchesUnsortedColumns) {
+  auto m = small_matrix();
+  m.col_idx = {2, 0, 0, 1};
+  EXPECT_NE(m.validate(), "");
+}
+
+TEST(Csr, ValidateCatchesDuplicateColumns) {
+  auto m = small_matrix();
+  m.col_idx = {0, 0, 0, 1};
+  EXPECT_NE(m.validate(), "");
+}
+
+TEST(Csr, ValidateCatchesNnzMismatch) {
+  auto m = small_matrix();
+  m.values.pop_back();
+  EXPECT_NE(m.validate(), "");
+}
+
+TEST(Csr, EqualsExact) {
+  const auto a = small_matrix();
+  auto b = small_matrix();
+  EXPECT_TRUE(a.equals_exact(b));
+  b.values[0] = 1.5;
+  EXPECT_FALSE(a.equals_exact(b));
+}
+
+TEST(Csr, AlmostEquals) {
+  const auto a = small_matrix();
+  auto b = small_matrix();
+  b.values[0] += 1e-12;
+  EXPECT_TRUE(a.almost_equals(b, 1e-9));
+  EXPECT_FALSE(a.almost_equals(b, 1e-14));
+}
+
+TEST(Csr, AlmostEqualsRequiresSameStructure) {
+  const auto a = small_matrix();
+  auto b = small_matrix();
+  b.col_idx[3] = 2;
+  EXPECT_FALSE(a.almost_equals(b, 1.0));
+}
+
+TEST(Csr, PruneZeros) {
+  auto m = small_matrix();
+  m.values[1] = 0.0;
+  m.prune_zeros();
+  EXPECT_EQ(m.validate(), "");
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.row_length(0), 1);
+  EXPECT_EQ(m.col_idx[0], 0);
+}
+
+TEST(Csr, PruneZerosAllZeroMatrix) {
+  auto m = small_matrix();
+  for (auto& v : m.values) v = 0.0;
+  m.prune_zeros();
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.validate(), "");
+}
+
+TEST(Csr, Identity) {
+  const auto id = Csr<float>::identity(4);
+  EXPECT_EQ(id.validate(), "");
+  EXPECT_EQ(id.nnz(), 4);
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(id.col_idx[i], i);
+    EXPECT_EQ(id.values[i], 1.0f);
+  }
+}
+
+TEST(Csr, EmptyMatrixIsValid) {
+  Csr<double> m;
+  EXPECT_EQ(m.validate(), "");
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(Csr, ByteSize) {
+  const auto m = small_matrix();
+  EXPECT_EQ(m.byte_size(), 4 * sizeof(index_t) + 4 * sizeof(index_t) + 4 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace acs

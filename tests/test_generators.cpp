@@ -1,0 +1,141 @@
+#include "matrix/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/stats.hpp"
+
+namespace acs {
+namespace {
+
+TEST(Generators, UniformRandomShapeAndValidity) {
+  const auto m = gen_uniform_random<double>(500, 400, 8.0, 3.0, 123);
+  EXPECT_EQ(m.validate(), "");
+  EXPECT_EQ(m.rows, 500);
+  EXPECT_EQ(m.cols, 400);
+  const auto s = row_stats(m);
+  EXPECT_NEAR(s.avg_len, 8.0, 1.0);
+  EXPECT_LE(s.max_len, 12);
+}
+
+TEST(Generators, UniformRandomIsDeterministic) {
+  const auto a = gen_uniform_random<double>(100, 100, 5.0, 2.0, 7);
+  const auto b = gen_uniform_random<double>(100, 100, 5.0, 2.0, 7);
+  EXPECT_TRUE(a.equals_exact(b));
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  const auto a = gen_uniform_random<double>(100, 100, 5.0, 2.0, 7);
+  const auto b = gen_uniform_random<double>(100, 100, 5.0, 2.0, 8);
+  EXPECT_FALSE(a.equals_exact(b));
+}
+
+TEST(Generators, PowerlawHitsTargetAverage) {
+  const auto m = gen_powerlaw<double>(2000, 2000, 6.0, 1.8, 500, 99);
+  EXPECT_EQ(m.validate(), "");
+  const auto s = row_stats(m);
+  EXPECT_NEAR(s.avg_len, 6.0, 1.5);
+  EXPECT_GT(s.max_len, 5 * s.avg_len);  // heavy tail present
+}
+
+TEST(Generators, BandedStructure) {
+  const auto m = gen_banded<double>(100, 3, 1);
+  EXPECT_EQ(m.validate(), "");
+  const auto s = row_stats(m);
+  EXPECT_EQ(s.max_len, 7);
+  EXPECT_EQ(s.min_len, 4);  // boundary rows
+  // Diagonal dominance by construction.
+  for (index_t r = 0; r < m.rows; ++r) {
+    for (index_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      if (m.col_idx[k] == r) {
+        EXPECT_GT(m.values[k], 1.0);
+      }
+    }
+  }
+}
+
+TEST(Generators, Stencil2dRowLengths) {
+  const auto m = gen_stencil_2d<double>(10, 10, 1);
+  EXPECT_EQ(m.validate(), "");
+  EXPECT_EQ(m.rows, 100);
+  const auto s = row_stats(m);
+  EXPECT_EQ(s.min_len, 3);  // corner
+  EXPECT_EQ(s.max_len, 5);  // interior
+}
+
+TEST(Generators, Stencil3dRowLengths) {
+  const auto m = gen_stencil_3d<double>(6, 6, 6, 1);
+  EXPECT_EQ(m.validate(), "");
+  EXPECT_EQ(m.rows, 216);
+  const auto s = row_stats(m);
+  EXPECT_EQ(s.min_len, 4);  // corner
+  EXPECT_EQ(s.max_len, 7);  // interior
+}
+
+TEST(Generators, RmatHeavyTail) {
+  const auto m = gen_rmat<double>(10, 8.0, 0.57, 0.19, 0.19, 5);
+  EXPECT_EQ(m.validate(), "");
+  EXPECT_EQ(m.rows, 1024);
+  const auto s = row_stats(m);
+  EXPECT_GT(s.max_len, 4 * s.avg_len);
+}
+
+TEST(Generators, BlockDenseRows) {
+  const auto m = gen_block_dense<double>(50, 300, 32, 2, 3);
+  EXPECT_EQ(m.validate(), "");
+  const auto s = row_stats(m);
+  EXPECT_GE(s.max_len, 32);
+  EXPECT_LE(s.max_len, 64);
+}
+
+TEST(Generators, InjectLongRows) {
+  const auto base = gen_uniform_random<double>(300, 1000, 4.0, 1.0, 21);
+  const auto m = inject_long_rows(base, 3, 600, 22);
+  EXPECT_EQ(m.validate(), "");
+  const auto s = row_stats(m);
+  EXPECT_EQ(s.max_len, 600);
+  index_t long_rows = 0;
+  for (index_t r = 0; r < m.rows; ++r)
+    if (m.row_length(r) == 600) ++long_rows;
+  EXPECT_EQ(long_rows, 3);
+}
+
+TEST(Generators, UniformLocalRespectsWindow) {
+  const auto m = gen_uniform_local<double>(1000, 1000, 6.0, 2.0, 64, 44);
+  EXPECT_EQ(m.validate(), "");
+  for (index_t r = 0; r < m.rows; ++r) {
+    const index_t begin = m.row_ptr[r], end = m.row_ptr[r + 1];
+    if (begin == end) continue;
+    EXPECT_LE(m.col_idx[end - 1] - m.col_idx[begin], 64) << "row " << r;
+  }
+}
+
+TEST(Generators, UniformLocalIsDeterministic) {
+  const auto a = gen_uniform_local<double>(200, 200, 5.0, 1.0, 32, 45);
+  const auto b = gen_uniform_local<double>(200, 200, 5.0, 1.0, 32, 45);
+  EXPECT_TRUE(a.equals_exact(b));
+}
+
+TEST(Generators, UniformLocalWindowWiderThanColsClamped) {
+  const auto m = gen_uniform_local<double>(50, 10, 4.0, 1.0, 1000, 46);
+  EXPECT_EQ(m.validate(), "");
+}
+
+TEST(Generators, RmatIsDeterministic) {
+  const auto a = gen_rmat<double>(8, 4.0, 0.57, 0.19, 0.19, 47);
+  const auto b = gen_rmat<double>(8, 4.0, 0.57, 0.19, 0.19, 47);
+  EXPECT_TRUE(a.equals_exact(b));
+}
+
+TEST(Generators, PowerlawRowsAreAtLeastOne) {
+  const auto m = gen_powerlaw<double>(500, 500, 3.0, 2.5, 100, 48);
+  for (index_t r = 0; r < m.rows; ++r) EXPECT_GE(m.row_length(r), 1);
+}
+
+TEST(Generators, RowLengthNeverExceedsCols) {
+  const auto m = gen_uniform_random<double>(50, 6, 10.0, 4.0, 17);
+  EXPECT_EQ(m.validate(), "");
+  EXPECT_LE(row_stats(m).max_len, 6);
+}
+
+}  // namespace
+}  // namespace acs

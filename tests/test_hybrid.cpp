@@ -1,0 +1,64 @@
+#include "suite/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/spa_gustavson.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/transpose.hpp"
+#include "suite/suite.hpp"
+#include "test_util.hpp"
+
+namespace acs {
+namespace {
+
+using testutil::quantize;
+
+TEST(Hybrid, PicksEscOnHighlySparse) {
+  const HybridSpgemm<double> h;
+  const auto a = gen_uniform_random<double>(2000, 2000, 4.0, 1.0, 91);
+  EXPECT_EQ(h.choose(a, a), HybridSpgemm<double>::Choice::AcSpgemm);
+}
+
+TEST(Hybrid, PicksHashOnDenseHighCompaction) {
+  const HybridSpgemm<double> h;
+  const auto a = gen_banded<double>(800, 32, 92);  // a=65, compaction ~33
+  EXPECT_EQ(h.choose(a, a), HybridSpgemm<double>::Choice::Hash);
+}
+
+TEST(Hybrid, PicksEscOnDenseLowCompaction) {
+  // Dense but with nearly no duplicate products (wide LP rectangle · its
+  // transpose): ESC stays the right tool.
+  const HybridSpgemm<double> h;
+  const auto a = gen_uniform_random<double>(300, 9600, 98.0, 10.0, 93);
+  const auto at = transpose(a);
+  EXPECT_EQ(h.choose(a, at), HybridSpgemm<double>::Choice::AcSpgemm);
+}
+
+TEST(Hybrid, BothPathsAreCorrect) {
+  const HybridSpgemm<double> h;
+  for (std::uint64_t seed : {94u, 95u}) {
+    const auto sparse = quantize(gen_uniform_random<double>(500, 500, 3.0, 1.0, seed));
+    EXPECT_TRUE(h.multiply(sparse, sparse, nullptr)
+                    .equals_exact(spa_multiply(sparse, sparse)));
+    EXPECT_EQ(h.last_choice(), HybridSpgemm<double>::Choice::AcSpgemm);
+
+    const auto dense = quantize(gen_banded<double>(400, 30, seed));
+    EXPECT_TRUE(h.multiply(dense, dense, nullptr)
+                    .equals_exact(spa_multiply(dense, dense)));
+    EXPECT_EQ(h.last_choice(), HybridSpgemm<double>::Choice::Hash);
+  }
+}
+
+TEST(Hybrid, NeverSlowerThanWorstOfBoth) {
+  const HybridSpgemm<double> h;
+  for (const auto& entry : showcase_suite()) {
+    const auto a = build_matrix<double>(entry);
+    if (!entry.square) continue;
+    SpgemmStats sh;
+    h.multiply(a, a, &sh);
+    EXPECT_GT(sh.sim_time_s, 0.0) << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,208 @@
+/// Direct unit tests of the merge block (run_merge_block): the three merge
+/// kinds, window splitting, pointer-chunk materialization, restart/resume.
+
+#include "core/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/coo.hpp"
+
+namespace acs {
+namespace {
+
+/// A chunk holding one row's (col, val) entries.
+Chunk<double> row_chunk(index_t row, std::vector<index_t> cols,
+                        std::vector<double> vals, std::uint32_t block,
+                        std::uint32_t counter) {
+  Chunk<double> c;
+  c.rows = {row};
+  c.row_offsets = {0, static_cast<index_t>(cols.size())};
+  c.cols = std::move(cols);
+  c.vals = std::move(vals);
+  c.order = {block, counter};
+  return c;
+}
+
+MergeBatch single_row_batch(index_t row, const std::vector<Chunk<double>>& chunks) {
+  MergeBatch batch;
+  batch.rows = {row};
+  batch.segments.emplace_back();
+  for (std::size_t i = 0; i < chunks.size(); ++i)
+    batch.segments[0].push_back(
+        {i, 0, chunks[i].entry_count(), chunks[i].order});
+  return batch;
+}
+
+Csr<double> empty_b() {
+  Csr<double> b;
+  b.rows = b.cols = 100;
+  b.row_ptr.assign(101, 0);
+  return b;
+}
+
+TEST(Merge, TwoChunksCombineOverlappingColumns) {
+  std::vector<Chunk<double>> chunks;
+  chunks.push_back(row_chunk(3, {1, 5, 9}, {1.0, 2.0, 3.0}, 0, 0));
+  chunks.push_back(row_chunk(3, {5, 7}, {10.0, 20.0}, 1, 0));
+  const auto batch = single_row_batch(3, chunks);
+  ChunkPool pool(1 << 20);
+  Config cfg;
+  const auto out = run_merge_block<double>(batch, chunks, empty_b(), cfg, pool,
+                                           MergeKind::Multi, 0, 99);
+  ASSERT_EQ(out.chunks.size(), 1u);
+  const auto& m = out.chunks[0];
+  EXPECT_EQ(m.rows, (std::vector<index_t>{3}));
+  EXPECT_EQ(m.cols, (std::vector<index_t>{1, 5, 7, 9}));
+  EXPECT_EQ(m.vals, (std::vector<double>{1.0, 12.0, 20.0, 3.0}));
+}
+
+TEST(Merge, CombinesInChunkOrderForDeterminism) {
+  // Equal columns must sum in ChunkOrder: (a + b) with a from the earlier
+  // chunk — checked with values whose float sum is order-sensitive.
+  std::vector<Chunk<double>> chunks;
+  chunks.push_back(row_chunk(0, {4}, {1e16}, 2, 1));
+  chunks.push_back(row_chunk(0, {4}, {1.0}, 0, 0));   // earliest order
+  chunks.push_back(row_chunk(0, {4}, {-1e16}, 2, 5));
+  // Segments sorted by order: 1.0, 1e16, -1e16 -> ((1.0 + 1e16) - 1e16) = 0.
+  MergeBatch batch;
+  batch.rows = {0};
+  batch.segments.emplace_back();
+  batch.segments[0].push_back({1, 0, 1, chunks[1].order});
+  batch.segments[0].push_back({0, 0, 1, chunks[0].order});
+  batch.segments[0].push_back({2, 0, 1, chunks[2].order});
+  ChunkPool pool(1 << 20);
+  Config cfg;
+  const auto out = run_merge_block<double>(batch, chunks, empty_b(), cfg, pool,
+                                           MergeKind::Search, 0, 99);
+  ASSERT_EQ(out.chunks.size(), 1u);
+  EXPECT_EQ(out.chunks[0].vals[0], (1.0 + 1e16) - 1e16);
+}
+
+TEST(Merge, MultiBatchSeveralRows) {
+  std::vector<Chunk<double>> chunks;
+  chunks.push_back(row_chunk(1, {0, 2}, {1.0, 1.0}, 0, 0));
+  chunks.push_back(row_chunk(1, {2, 4}, {1.0, 1.0}, 1, 0));
+  chunks.push_back(row_chunk(6, {3}, {5.0}, 0, 1));
+  chunks.push_back(row_chunk(6, {3}, {7.0}, 1, 1));
+  MergeBatch batch;
+  batch.rows = {1, 6};
+  batch.segments.resize(2);
+  batch.segments[0] = {{0, 0, 2, chunks[0].order}, {1, 0, 2, chunks[1].order}};
+  batch.segments[1] = {{2, 0, 1, chunks[2].order}, {3, 0, 1, chunks[3].order}};
+  ChunkPool pool(1 << 20);
+  Config cfg;
+  const auto out = run_merge_block<double>(batch, chunks, empty_b(), cfg, pool,
+                                           MergeKind::Multi, 0, 99);
+  ASSERT_EQ(out.chunks.size(), 1u);
+  const auto& m = out.chunks[0];
+  EXPECT_EQ(m.rows, (std::vector<index_t>{1, 6}));
+  EXPECT_EQ(m.row_offsets, (std::vector<index_t>{0, 3, 4}));
+  EXPECT_EQ(m.cols, (std::vector<index_t>{0, 2, 4, 3}));
+  EXPECT_EQ(m.vals, (std::vector<double>{1.0, 2.0, 1.0, 12.0}));
+}
+
+TEST(Merge, WindowsSplitLargeRows) {
+  // A row larger than the block capacity must produce multiple window
+  // chunks with ascending, non-overlapping column ranges.
+  Config cfg;
+  cfg.threads = 8;
+  cfg.elements_per_thread = 4;  // capacity 32
+  cfg.retain_per_thread = 2;
+  std::vector<Chunk<double>> chunks;
+  std::vector<index_t> cols_a, cols_b;
+  std::vector<double> vals_a, vals_b;
+  for (index_t c = 0; c < 50; ++c) {
+    cols_a.push_back(2 * c);
+    vals_a.push_back(1.0);
+    cols_b.push_back(2 * c + 1);
+    vals_b.push_back(2.0);
+  }
+  chunks.push_back(row_chunk(0, cols_a, vals_a, 0, 0));
+  chunks.push_back(row_chunk(0, cols_b, vals_b, 1, 0));
+  const auto batch = single_row_batch(0, chunks);
+  ChunkPool pool(1 << 20);
+  const auto out = run_merge_block<double>(batch, chunks, empty_b(), cfg, pool,
+                                           MergeKind::Path, 0, 99);
+  ASSERT_GT(out.chunks.size(), 1u);
+  index_t total = 0;
+  index_t prev_last = -1;
+  for (const auto& w : out.chunks) {
+    EXPECT_GT(w.cols.front(), prev_last);
+    prev_last = w.cols.back();
+    total += w.entry_count();
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(Merge, PointerChunksMaterializeFromB) {
+  Coo<double> bcoo;
+  bcoo.rows = bcoo.cols = 100;
+  for (index_t c = 10; c < 20; ++c) bcoo.push(7, c, 0.5 * (c - 9));
+  const auto b = bcoo.to_csr();
+
+  std::vector<Chunk<double>> chunks;
+  Chunk<double> pointer;
+  pointer.is_long_row = true;
+  pointer.rows = {2};
+  pointer.b_row = 7;
+  pointer.factor = 2.0;
+  pointer.long_len = 10;
+  pointer.order = {0, 0};
+  chunks.push_back(std::move(pointer));
+  chunks.push_back(row_chunk(2, {12, 50}, {100.0, 1.0}, 1, 0));
+
+  const auto batch = single_row_batch(2, chunks);
+  ChunkPool pool(1 << 20);
+  Config cfg;
+  const auto out = run_merge_block<double>(batch, chunks, b, cfg, pool,
+                                           MergeKind::Search, 0, 99);
+  ASSERT_EQ(out.chunks.size(), 1u);
+  const auto& m = out.chunks[0];
+  ASSERT_EQ(m.entry_count(), 11);  // cols 10..19 plus 50
+  // col 12 combines 2.0*1.5 (scaled B) + 100.0 (regular chunk).
+  for (std::size_t i = 0; i < m.cols.size(); ++i)
+    if (m.cols[i] == 12) EXPECT_EQ(m.vals[i], 2.0 * 1.5 + 100.0);
+}
+
+TEST(Merge, RestartResumesAtWindow) {
+  Config cfg;
+  cfg.threads = 8;
+  cfg.elements_per_thread = 4;  // capacity 32: several windows
+  cfg.retain_per_thread = 2;
+  std::vector<Chunk<double>> chunks;
+  std::vector<index_t> cols1, cols2;
+  std::vector<double> vals1, vals2;
+  for (index_t c = 0; c < 60; ++c) {
+    cols1.push_back(c);
+    vals1.push_back(1.0);
+    cols2.push_back(c);
+    vals2.push_back(2.0);
+  }
+  chunks.push_back(row_chunk(0, cols1, vals1, 0, 0));
+  chunks.push_back(row_chunk(0, cols2, vals2, 1, 0));
+  const auto batch = single_row_batch(0, chunks);
+
+  ChunkPool tiny(700);  // fits roughly one window chunk
+  std::vector<Chunk<double>> produced;
+  std::size_t windows_done = 0;
+  int rounds = 0;
+  for (;;) {
+    const auto out = run_merge_block<double>(batch, chunks, empty_b(), Config(cfg),
+                                             tiny, MergeKind::Search,
+                                             windows_done, 99);
+    for (const auto& c : out.chunks) produced.push_back(c);
+    windows_done = out.windows_done;
+    if (!out.needs_restart) break;
+    tiny.grow(700);
+    ASSERT_LT(++rounds, 50);
+  }
+  EXPECT_GT(rounds, 0);
+  index_t total = 0;
+  for (const auto& w : produced) total += w.entry_count();
+  EXPECT_EQ(total, 60);  // every column combined exactly once
+  for (const auto& w : produced)
+    for (const auto& v : w.vals) EXPECT_EQ(v, 3.0);
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,149 @@
+#include "matrix/mmio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "matrix/generators.hpp"
+
+namespace acs {
+namespace {
+
+TEST(Mmio, ParseGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 3\n"
+      "1 1 2.5\n"
+      "2 3 -1\n"
+      "3 2 4\n");
+  auto csr = read_matrix_market<double>(in).to_csr();
+  EXPECT_EQ(csr.validate(), "");
+  EXPECT_EQ(csr.rows, 3);
+  EXPECT_EQ(csr.nnz(), 3);
+  EXPECT_EQ(csr.values[0], 2.5);
+}
+
+TEST(Mmio, ParseSymmetricExpandsOffDiagonal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 7\n"
+      "3 3 1\n");
+  auto csr = read_matrix_market<double>(in).to_csr();
+  EXPECT_EQ(csr.nnz(), 3);  // (2,1), (1,2), (3,3)
+  EXPECT_EQ(csr.row_length(0), 1);
+  EXPECT_EQ(csr.row_length(1), 1);
+}
+
+TEST(Mmio, ParseSkewSymmetricNegates) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3\n");
+  auto csr = read_matrix_market<double>(in).to_csr();
+  ASSERT_EQ(csr.nnz(), 2);
+  EXPECT_EQ(csr.values[0], -3.0);  // (1,2) mirrored entry
+  EXPECT_EQ(csr.values[1], 3.0);
+}
+
+TEST(Mmio, ParsePattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  auto csr = read_matrix_market<float>(in).to_csr();
+  EXPECT_EQ(csr.nnz(), 2);
+  EXPECT_EQ(csr.values[0], 1.0f);
+}
+
+TEST(Mmio, ParseIntegerField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 2\n"
+      "1 1 3\n"
+      "2 2 -4\n");
+  auto csr = read_matrix_market<double>(in).to_csr();
+  ASSERT_EQ(csr.nnz(), 2);
+  EXPECT_EQ(csr.values[0], 3.0);
+  EXPECT_EQ(csr.values[1], -4.0);
+}
+
+TEST(Mmio, DuplicateEntriesAreSummed) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.5\n"
+      "1 1 2.5\n"
+      "2 1 1.0\n");
+  auto csr = read_matrix_market<double>(in).to_csr();
+  ASSERT_EQ(csr.nnz(), 2);
+  EXPECT_EQ(csr.values[0], 4.0);
+}
+
+TEST(Mmio, SymmetricDiagonalNotDuplicated) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "1 1 5\n"
+      "2 1 1\n");
+  auto csr = read_matrix_market<double>(in).to_csr();
+  EXPECT_EQ(csr.nnz(), 3);  // diagonal once, off-diagonal mirrored
+  EXPECT_EQ(csr.values[0], 5.0);
+}
+
+TEST(Mmio, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 5\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market<double>(in), std::runtime_error);
+}
+
+TEST(Mmio, RejectsComplexField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "1 1 1\n"
+      "1 1 1.0 2.0\n");
+  EXPECT_THROW(read_matrix_market<double>(in), std::runtime_error);
+}
+
+TEST(Mmio, RejectsBadBanner) {
+  std::istringstream in("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market<double>(in), std::runtime_error);
+}
+
+TEST(Mmio, RejectsArrayFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(read_matrix_market<double>(in), std::runtime_error);
+}
+
+TEST(Mmio, RejectsOutOfRangeCoordinate) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market<double>(in), std::runtime_error);
+}
+
+TEST(Mmio, WriteReadRoundTrip) {
+  const auto m = gen_uniform_random<double>(50, 40, 4.0, 2.0, 9);
+  std::stringstream buf;
+  write_matrix_market(buf, m);
+  auto back = read_matrix_market<double>(buf).to_csr();
+  EXPECT_TRUE(m.almost_equals(back, 1e-15));
+}
+
+TEST(Mmio, FileRoundTrip) {
+  const auto m = gen_banded<float>(30, 2, 3);
+  const std::string path = ::testing::TempDir() + "acs_mmio_test.mtx";
+  write_matrix_market_file(path, m);
+  auto back = read_matrix_market_file<float>(path);
+  EXPECT_TRUE(m.almost_equals(back, 1e-6));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,108 @@
+#include "matrix/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/coo.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/transpose.hpp"
+
+namespace acs {
+namespace {
+
+Csr<double> small(std::initializer_list<std::initializer_list<double>> dense) {
+  Coo<double> coo;
+  coo.rows = static_cast<index_t>(dense.size());
+  coo.cols = static_cast<index_t>(dense.begin()->size());
+  index_t r = 0;
+  for (const auto& row : dense) {
+    index_t c = 0;
+    for (double v : row) {
+      if (v != 0.0) coo.push(r, c, v);
+      ++c;
+    }
+    ++r;
+  }
+  return coo.to_csr();
+}
+
+TEST(Ops, AddUnionOfPatterns) {
+  const auto a = small({{1, 0}, {0, 2}});
+  const auto b = small({{0, 3}, {0, 4}});
+  const auto c = add(a, b);
+  EXPECT_EQ(c.validate(), "");
+  EXPECT_TRUE(c.equals_exact(small({{1, 3}, {0, 6}})));
+}
+
+TEST(Ops, AddWithCoefficients) {
+  const auto a = small({{2, 0}, {0, 2}});
+  const auto c = add(a, a, 0.5, 1.5);
+  EXPECT_TRUE(c.equals_exact(small({{4, 0}, {0, 4}})));
+}
+
+TEST(Ops, AddShapeMismatchThrows) {
+  const auto a = small({{1, 0}, {0, 1}});
+  const auto b = small({{1, 0, 0}, {0, 1, 0}});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+}
+
+TEST(Ops, Scale) {
+  auto a = small({{1, 2}, {0, 3}});
+  scale(a, 2.0);
+  EXPECT_TRUE(a.equals_exact(small({{2, 4}, {0, 6}})));
+}
+
+TEST(Ops, HadamardIntersection) {
+  const auto a = small({{2, 3, 0}, {1, 0, 1}});
+  const auto b = small({{4, 0, 5}, {2, 2, 0}});
+  const auto c = hadamard(a, b);
+  EXPECT_TRUE(c.equals_exact(small({{8, 0, 0}, {2, 0, 0}})));
+}
+
+TEST(Ops, StructuralMaskKeepsValuesFromFirst) {
+  const auto m = small({{2, 3}, {4, 5}});
+  const auto mask = small({{0, 1}, {1, 0}});
+  const auto c = structural_mask(m, mask);
+  EXPECT_TRUE(c.equals_exact(small({{0, 3}, {4, 0}})));
+}
+
+TEST(Ops, FrobeniusDistance) {
+  const auto a = small({{3, 0}, {0, 4}});
+  const auto b = small({{0, 0}, {0, 0}});
+  EXPECT_DOUBLE_EQ(frobenius_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(frobenius_distance(a, a), 0.0);
+}
+
+TEST(Ops, FrobeniusDistanceAsymmetricPatterns) {
+  const auto a = small({{3, 1}, {0, 0}});
+  const auto b = small({{0, 1}, {4, 0}});
+  EXPECT_DOUBLE_EQ(frobenius_distance(a, b), 5.0);
+}
+
+TEST(Ops, Diagonal) {
+  const auto a = small({{7, 1, 0}, {0, 0, 2}, {5, 0, 9}});
+  const auto d = diagonal(a);
+  EXPECT_EQ(d, (std::vector<double>{7, 0, 9}));
+}
+
+TEST(Ops, ValueSum) {
+  const auto a = small({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(value_sum(a), 10.0);
+}
+
+TEST(Ops, IsSymmetric) {
+  const auto sym = small({{1, 2}, {2, 3}});
+  const auto asym = small({{1, 2}, {5, 3}});
+  EXPECT_TRUE(is_symmetric(sym));
+  EXPECT_FALSE(is_symmetric(asym));
+  const auto rect = small({{1, 0, 0}, {0, 1, 0}});
+  EXPECT_FALSE(is_symmetric(rect));
+}
+
+TEST(Ops, AAtIsSymmetricProperty) {
+  // A·Aᵀ validated via: (A + Aᵀ) is symmetric for square A.
+  const auto a = gen_uniform_random<double>(200, 200, 5.0, 2.0, 71);
+  EXPECT_TRUE(is_symmetric(add(a, transpose(a))));
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,176 @@
+/// Parameterized property sweeps: every algorithm against the Gustavson
+/// oracle over a grid of matrix regimes, and AC-SpGEMM over a grid of block
+/// configurations. Values are quantized (test_util.hpp) so agreement is
+/// exact regardless of accumulation order.
+
+#include <gtest/gtest.h>
+
+#include "baselines/bhsparse.hpp"
+#include "baselines/cusparse_like.hpp"
+#include "baselines/esc_global.hpp"
+#include "baselines/kokkos_like.hpp"
+#include "baselines/nsparse_like.hpp"
+#include "baselines/rmerge.hpp"
+#include "baselines/spa_gustavson.hpp"
+#include "core/acspgemm.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/symbolic.hpp"
+#include "matrix/transpose.hpp"
+#include "test_util.hpp"
+
+namespace acs {
+namespace {
+
+using testutil::quantize;
+
+struct Regime {
+  const char* name;
+  Csr<double> (*make)(std::uint64_t seed);
+};
+
+Csr<double> make_uniform(std::uint64_t s) {
+  return quantize(gen_uniform_random<double>(400, 400, 5.0, 2.0, s));
+}
+Csr<double> make_local(std::uint64_t s) {
+  return quantize(gen_uniform_local<double>(500, 500, 6.0, 2.0, 128, s));
+}
+Csr<double> make_powerlaw(std::uint64_t s) {
+  return quantize(gen_powerlaw<double>(500, 500, 5.0, 1.6, 200, s));
+}
+Csr<double> make_banded(std::uint64_t s) {
+  return quantize(gen_banded<double>(300, 12, s));
+}
+Csr<double> make_stencil(std::uint64_t s) {
+  return quantize(gen_stencil_2d<double>(22, 22, s));
+}
+Csr<double> make_rmat(std::uint64_t s) {
+  return quantize(gen_rmat<double>(8, 8.0, 0.57, 0.19, 0.19, s));
+}
+Csr<double> make_blocks(std::uint64_t s) {
+  return quantize(gen_block_dense<double>(150, 150, 24, 2, s));
+}
+Csr<double> make_longrows(std::uint64_t s) {
+  return quantize(inject_long_rows(
+      gen_uniform_random<double>(600, 600, 3.0, 1.0, s), 4, 400, s + 1));
+}
+
+const Regime kRegimes[] = {
+    {"uniform", make_uniform},   {"local", make_local},
+    {"powerlaw", make_powerlaw}, {"banded", make_banded},
+    {"stencil", make_stencil},   {"rmat", make_rmat},
+    {"blocks", make_blocks},     {"longrows", make_longrows},
+};
+
+// ---------------------------------------------------------------------------
+// Every algorithm × every regime × several seeds agrees with the oracle.
+// ---------------------------------------------------------------------------
+
+class AlgorithmRegimeSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(AlgorithmRegimeSweep, AllAlgorithmsMatchOracle) {
+  const auto [regime_idx, seed] = GetParam();
+  const Regime& regime = kRegimes[regime_idx];
+  const auto a = regime.make(seed);
+  const auto ref = spa_multiply(a, a);
+
+  const auto check = [&](const char* name, const Csr<double>& c) {
+    ASSERT_EQ(c.validate(), "") << name;
+    EXPECT_TRUE(c.equals_exact(ref)) << name << " on " << regime.name;
+  };
+  check("AC-SpGEMM", multiply(a, a));
+  check("ESC-global", esc_global_multiply(a, a));
+  check("nsparse", nsparse_multiply(a, a));
+  check("cuSparse", cusparse_like_multiply(a, a));
+  check("RMerge", rmerge_multiply(a, a));
+  check("bhSparse", bhsparse_multiply(a, a));
+  check("Kokkos", kokkos_like_multiply(a, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, AlgorithmRegimeSweep,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(std::uint64_t{201}, std::uint64_t{202},
+                                         std::uint64_t{203})),
+    [](const auto& info) {
+      return std::string(kRegimes[std::get<0>(info.param)].name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// AC-SpGEMM over a grid of block configurations.
+// ---------------------------------------------------------------------------
+
+struct ShapeParam {
+  int threads, nnz_per_block, elements_per_thread, retain;
+};
+
+class ConfigShapeSweep : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(ConfigShapeSweep, MatchesOracleUnderAnyBlockShape) {
+  const auto p = GetParam();
+  Config cfg;
+  cfg.threads = p.threads;
+  cfg.nnz_per_block = p.nnz_per_block;
+  cfg.elements_per_thread = p.elements_per_thread;
+  cfg.retain_per_thread = p.retain;
+  const auto a = quantize(gen_powerlaw<double>(600, 600, 6.0, 1.7, 200, 211));
+  const auto c = multiply(a, a, cfg);
+  EXPECT_EQ(c.validate(), "");
+  EXPECT_TRUE(c.equals_exact(spa_multiply(a, a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConfigShapeSweep,
+    ::testing::Values(ShapeParam{256, 256, 8, 4},   // paper default
+                      ShapeParam{256, 512, 8, 4},   // paper's larger GLB
+                      ShapeParam{128, 128, 8, 4}, ShapeParam{64, 64, 4, 2},
+                      ShapeParam{32, 32, 8, 1}, ShapeParam{16, 16, 4, 0},
+                      ShapeParam{512, 256, 4, 2}, ShapeParam{256, 64, 8, 6}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "t" + std::to_string(p.threads) + "_n" +
+             std::to_string(p.nnz_per_block) + "_e" +
+             std::to_string(p.elements_per_thread) + "_r" +
+             std::to_string(p.retain);
+    });
+
+// ---------------------------------------------------------------------------
+// Structural invariants over seeds: nnz(C) matches the symbolic pass, and
+// C's pattern contains the pattern of any single product term.
+// ---------------------------------------------------------------------------
+
+class StructuralSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StructuralSweep, OutputStructureMatchesSymbolic) {
+  const auto seed = GetParam();
+  const auto a = gen_uniform_random<double>(350, 280, 4.0, 2.0, seed);
+  const auto b = gen_uniform_random<double>(280, 420, 5.0, 2.0, seed + 7);
+  const auto c = multiply(a, b);
+  EXPECT_EQ(c.validate(), "");
+  EXPECT_EQ(c.nnz(), symbolic_nnz(a, b));
+  const auto counts = symbolic_row_nnz(a, b);
+  for (index_t r = 0; r < c.rows; ++r)
+    ASSERT_EQ(c.row_length(r), counts[static_cast<std::size_t>(r)]);
+}
+
+TEST_P(StructuralSweep, RectangularChainAssociativity) {
+  // (A·B)·C == A·(B·C) structurally and exactly on quantized values.
+  const auto seed = GetParam();
+  const auto a = quantize(gen_uniform_random<double>(120, 90, 3.0, 1.0, seed));
+  const auto b = quantize(gen_uniform_random<double>(90, 150, 3.0, 1.0, seed + 1));
+  const auto c = quantize(gen_uniform_random<double>(150, 80, 3.0, 1.0, seed + 2));
+  const auto left = multiply(multiply(a, b), c);
+  const auto right = multiply(a, multiply(b, c));
+  EXPECT_EQ(left.row_ptr, right.row_ptr);
+  EXPECT_EQ(left.col_idx, right.col_idx);
+  // Values may differ in grouping only; quantized values make them exact.
+  EXPECT_EQ(left.values, right.values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuralSweep,
+                         ::testing::Values(301, 302, 303, 304, 305, 306, 307,
+                                           308, 309, 310));
+
+}  // namespace
+}  // namespace acs

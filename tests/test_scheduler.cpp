@@ -1,0 +1,63 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace acs::sim {
+namespace {
+
+TEST(Scheduler, RunsEveryBlockExactlyOnce) {
+  BlockScheduler sched(1);
+  std::vector<int> hits(100, 0);
+  sched.for_each_block(100, [&](std::size_t b) { hits[b]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Scheduler, RunsEveryBlockWithThreadPool) {
+  BlockScheduler sched(4);
+  std::vector<std::atomic<int>> hits(1000);
+  sched.for_each_block(1000, [&](std::size_t b) { hits[b]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Scheduler, ZeroBlocksIsNoop) {
+  BlockScheduler sched(2);
+  bool called = false;
+  sched.for_each_block(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Scheduler, PropagatesExceptions) {
+  BlockScheduler sched(2);
+  EXPECT_THROW(sched.for_each_block(10,
+                                    [&](std::size_t b) {
+                                      if (b == 5) throw std::runtime_error("boom");
+                                    }),
+               std::runtime_error);
+}
+
+TEST(Scheduler, PerBlockSlotsGiveDeterministicResults) {
+  // The pattern every simulated kernel uses: each block writes only its own
+  // slot, so results are independent of interleaving.
+  auto run = [](unsigned threads) {
+    BlockScheduler sched(threads);
+    std::vector<long> out(500);
+    sched.for_each_block(500, [&](std::size_t b) {
+      out[b] = static_cast<long>(b * b + 1);
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(Scheduler, ZeroThreadsPicksHardwareConcurrency) {
+  BlockScheduler sched(0);
+  EXPECT_GE(sched.threads(), 1u);
+}
+
+}  // namespace
+}  // namespace acs::sim

@@ -1,0 +1,66 @@
+#include "sim/scratchpad.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acs::sim {
+namespace {
+
+TEST(Scratchpad, AllocateWithinCapacity) {
+  Scratchpad pad(1024);
+  auto a = pad.allocate<int>(100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(pad.used(), 400u);
+}
+
+TEST(Scratchpad, OverflowThrows) {
+  Scratchpad pad(64);
+  EXPECT_THROW(pad.allocate<double>(9), std::length_error);
+}
+
+TEST(Scratchpad, ExactFitSucceeds) {
+  Scratchpad pad(64);
+  EXPECT_NO_THROW(pad.allocate<double>(8));
+  EXPECT_THROW(pad.allocate<char>(1), std::length_error);
+}
+
+TEST(Scratchpad, ResetReleases) {
+  Scratchpad pad(64);
+  pad.allocate<double>(8);
+  pad.reset();
+  EXPECT_EQ(pad.used(), 0u);
+  EXPECT_NO_THROW(pad.allocate<double>(8));
+}
+
+TEST(Scratchpad, HighWaterPersistsAcrossReset) {
+  Scratchpad pad(128);
+  pad.allocate<double>(10);
+  pad.reset();
+  pad.allocate<char>(4);
+  EXPECT_EQ(pad.high_water(), 80u);
+}
+
+TEST(Scratchpad, AlignmentPadding) {
+  Scratchpad pad(64);
+  pad.allocate<char>(1);
+  auto d = pad.allocate<double>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+}
+
+TEST(Scratchpad, AllocationsAreZeroed) {
+  Scratchpad pad(64);
+  auto a = pad.allocate<int>(4);
+  for (int x : a) EXPECT_EQ(x, 0);
+}
+
+TEST(Scratchpad, TitanXpCapacityHoldsEscBuffers) {
+  // The paper's configuration: 256 threads x 8 elements, 64-bit keys +
+  // double values must fit in 48 KiB along with the WDState array.
+  Scratchpad pad(48 * 1024);
+  EXPECT_NO_THROW(pad.allocate<std::uint64_t>(2048));  // keys    16 KiB
+  EXPECT_NO_THROW(pad.allocate<double>(2048));         // values  16 KiB
+  EXPECT_NO_THROW(pad.allocate<std::int64_t>(257));    // WDState  2 KiB
+  EXPECT_NO_THROW(pad.allocate<std::int32_t>(2048));   // states   8 KiB
+}
+
+}  // namespace
+}  // namespace acs::sim

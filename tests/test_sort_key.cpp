@@ -1,0 +1,62 @@
+#include "core/sort_key.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acs {
+namespace {
+
+TEST(SortKey, DynamicRoundTrip) {
+  const auto c = KeyCodec::make(10, 40, 1000, 5000, true, 255, 1 << 20);
+  const auto key = c.encode(23, 3000);
+  EXPECT_EQ(c.row_of(key), 23);
+  EXPECT_EQ(c.col_of(key), 3000);
+}
+
+TEST(SortKey, DynamicBitsAreMinimal) {
+  const auto c = KeyCodec::make(0, 3, 100, 115, true, 255, 1 << 20);
+  EXPECT_EQ(c.row_bits(), 2);
+  EXPECT_EQ(c.col_bits(), 4);
+  EXPECT_EQ(c.total_bits(), 6);
+}
+
+TEST(SortKey, StaticBitsUseFullRanges) {
+  const auto c = KeyCodec::make(10, 12, 100, 110, false, 255, (1 << 23) - 1);
+  EXPECT_EQ(c.row_bits(), 8);
+  EXPECT_EQ(c.col_bits(), 23);
+  // The paper's example: 9 row bits + 23 column bits fit a 32-bit key.
+  const auto paper = KeyCodec::make(0, 0, 0, 0, false, 511, (1 << 23) - 1);
+  EXPECT_EQ(paper.total_bits(), 32);
+}
+
+TEST(SortKey, OrderingMatchesRowColumnOrder) {
+  const auto c = KeyCodec::make(0, 7, 50, 80, true, 255, 1000);
+  EXPECT_LT(c.encode(1, 80), c.encode(2, 50));  // row dominates
+  EXPECT_LT(c.encode(3, 51), c.encode(3, 52));  // column within row
+}
+
+TEST(SortKey, SameRowPredicate) {
+  const auto c = KeyCodec::make(0, 7, 0, 100, true, 255, 1000);
+  EXPECT_TRUE(c.same_row(c.encode(4, 10), c.encode(4, 90)));
+  EXPECT_FALSE(c.same_row(c.encode(4, 10), c.encode(5, 10)));
+}
+
+TEST(SortKey, SingleRowSingleColumnDegenerate) {
+  const auto c = KeyCodec::make(6, 6, 42, 42, true, 255, 1000);
+  EXPECT_EQ(c.total_bits(), 0);
+  EXPECT_EQ(c.row_of(c.encode(6, 42)), 6);
+  EXPECT_EQ(c.col_of(c.encode(6, 42)), 42);
+}
+
+TEST(SortKey, RoundTripAtRangeBounds) {
+  const auto c = KeyCodec::make(3, 17, 200, 900, true, 255, 1000);
+  for (index_t r : {3, 17}) {
+    for (index_t col : {200, 900}) {
+      const auto key = c.encode(r, col);
+      EXPECT_EQ(c.row_of(key), r);
+      EXPECT_EQ(c.col_of(key), col);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,71 @@
+#include "baselines/spa_gustavson.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+#include "matrix/transpose.hpp"
+
+namespace acs {
+namespace {
+
+TEST(Spa, KnownSmallProduct) {
+  // A = [1 2; 0 3], B = [4 0; 1 5]  =>  C = [6 10; 3 15]
+  Csr<double> a, b;
+  a.rows = a.cols = 2;
+  a.row_ptr = {0, 2, 3};
+  a.col_idx = {0, 1, 1};
+  a.values = {1, 2, 3};
+  b.rows = b.cols = 2;
+  b.row_ptr = {0, 1, 3};
+  b.col_idx = {0, 0, 1};
+  b.values = {4, 1, 5};
+
+  const auto c = spa_multiply(a, b);
+  EXPECT_EQ(c.validate(), "");
+  ASSERT_EQ(c.nnz(), 4);
+  EXPECT_EQ(c.values, (std::vector<double>{6, 10, 3, 15}));
+  EXPECT_EQ(c.col_idx, (std::vector<index_t>{0, 1, 0, 1}));
+}
+
+TEST(Spa, IdentityIsNeutral) {
+  const auto m = gen_uniform_random<double>(80, 80, 5.0, 2.0, 3);
+  const auto id = Csr<double>::identity(80);
+  EXPECT_TRUE(spa_multiply(m, id).equals_exact(m));
+  EXPECT_TRUE(spa_multiply(id, m).equals_exact(m));
+}
+
+TEST(Spa, DimensionMismatchThrows) {
+  const auto a = gen_uniform_random<double>(10, 20, 3.0, 1.0, 1);
+  const auto b = gen_uniform_random<double>(10, 10, 3.0, 1.0, 2);
+  EXPECT_THROW(spa_multiply(a, b), std::invalid_argument);
+}
+
+TEST(Spa, NonSquareProduct) {
+  const auto a = gen_uniform_random<double>(30, 50, 4.0, 1.0, 5);
+  const auto at = transpose(a);
+  const auto c = spa_multiply(a, at);
+  EXPECT_EQ(c.validate(), "");
+  EXPECT_EQ(c.rows, 30);
+  EXPECT_EQ(c.cols, 30);
+}
+
+TEST(Spa, EmptyOperands) {
+  Csr<double> a;
+  a.rows = 5;
+  a.cols = 5;
+  a.row_ptr.assign(6, 0);
+  const auto c = spa_multiply(a, a);
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_EQ(c.rows, 5);
+}
+
+TEST(Spa, StatsFilled) {
+  const auto m = gen_uniform_random<double>(50, 50, 4.0, 1.0, 6);
+  SpgemmStats stats;
+  spa_multiply(m, m, &stats);
+  EXPECT_GT(stats.intermediate_products, 0);
+  EXPECT_GE(stats.wall_time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,72 @@
+#include "matrix/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+
+namespace acs {
+namespace {
+
+Csr<double> tiny() {
+  // [1 1 0]
+  // [0 0 1]
+  // [1 0 0]
+  Csr<double> m;
+  m.rows = 3;
+  m.cols = 3;
+  m.row_ptr = {0, 2, 3, 4};
+  m.col_idx = {0, 1, 2, 0};
+  m.values = {1, 1, 1, 1};
+  return m;
+}
+
+TEST(Stats, RowStats) {
+  const auto s = row_stats(tiny());
+  EXPECT_EQ(s.min_len, 1);
+  EXPECT_EQ(s.max_len, 2);
+  EXPECT_NEAR(s.avg_len, 4.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, IntermediateProductsSelfProduct) {
+  const auto m = tiny();
+  // Row lengths of B=m are (2,1,1). A's columns: 0,1,2,0 -> 2+1+1+2 = 6.
+  EXPECT_EQ(intermediate_products(m, m), 6);
+  EXPECT_EQ(spgemm_flops(m, m), 12);
+}
+
+TEST(Stats, IntermediateProductsPerRow) {
+  const auto m = tiny();
+  const auto per_row = intermediate_products_per_row(m, m);
+  ASSERT_EQ(per_row.size(), 3u);
+  EXPECT_EQ(per_row[0], 3);  // cols 0,1 -> len 2 + 1
+  EXPECT_EQ(per_row[1], 1);
+  EXPECT_EQ(per_row[2], 2);
+  EXPECT_EQ(per_row[0] + per_row[1] + per_row[2], intermediate_products(m, m));
+}
+
+TEST(Stats, CompactionFactor) {
+  const auto m = tiny();
+  EXPECT_DOUBLE_EQ(compaction_factor(m, m, 3), 2.0);
+  EXPECT_DOUBLE_EQ(compaction_factor(m, m, 0), 0.0);
+}
+
+TEST(Stats, Histogram) {
+  const auto m = gen_uniform_random<double>(1000, 1000, 10.0, 5.0, 3);
+  const std::vector<index_t> buckets{0, 8, 12, 100};
+  const auto hist = row_length_histogram(m, buckets);
+  ASSERT_EQ(hist.size(), 4u);
+  offset_t total = 0;
+  for (auto h : hist) total += h;
+  EXPECT_EQ(total, 1000);
+  EXPECT_EQ(hist[3], 0);  // no rows >= 100
+}
+
+TEST(Stats, EmptyMatrix) {
+  Csr<double> m;
+  const auto s = row_stats(m);
+  EXPECT_EQ(s.max_len, 0);
+  EXPECT_EQ(s.avg_len, 0.0);
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/acspgemm.hpp"
+#include "matrix/generators.hpp"
+#include "sim/metrics.hpp"
+
+namespace acs {
+namespace {
+
+TEST(SpgemmStatsExtras, PipelineObservabilityCounters) {
+  const auto m = gen_uniform_random<double>(2000, 2000, 8.0, 3.0, 601);
+  SpgemmStats stats;
+  multiply(m, m, Config{}, &stats);
+  EXPECT_GT(stats.chunks_created, 0u);
+  EXPECT_GT(stats.esc_iterations, 0u);
+  EXPECT_EQ(stats.long_row_chunks, 0u);  // no long rows in this matrix
+  // Blocks split rows at nearly every boundary: some merging expected.
+  EXPECT_GT(stats.merged_rows, 0u);
+}
+
+TEST(SpgemmStatsExtras, LongRowChunksCounted) {
+  const auto a = gen_uniform_random<double>(300, 60, 5.0, 1.0, 602);
+  const auto b =
+      inject_long_rows(gen_uniform_random<double>(60, 900, 3.0, 1.0, 603), 6,
+                       500, 604);
+  Config cfg;
+  cfg.long_row_threshold = 64;
+  SpgemmStats stats;
+  multiply(a, b, cfg, &stats);
+  EXPECT_GT(stats.long_row_chunks, 0u);
+}
+
+TEST(SpgemmStatsExtras, StageTimeAccumulatesDuplicates) {
+  SpgemmStats s;
+  s.stage_times_s = {{"ESC", 1.0}, {"ESC", 2.0}, {"CC", 0.5}};
+  EXPECT_DOUBLE_EQ(s.stage_time("ESC"), 3.0);
+  EXPECT_DOUBLE_EQ(s.stage_time("CC"), 0.5);
+  EXPECT_DOUBLE_EQ(s.stage_time("missing"), 0.0);
+}
+
+TEST(SpgemmStatsExtras, GflopsZeroWithoutTime) {
+  SpgemmStats s;
+  s.intermediate_products = 1000;
+  EXPECT_EQ(s.gflops(), 0.0);
+  s.sim_time_s = 1e-3;
+  EXPECT_DOUBLE_EQ(s.gflops(), 2.0 * 1000 / 1e-3 / 1e9);
+}
+
+TEST(MetricCounters, AdditionAggregatesEveryField) {
+  sim::MetricCounters a, b;
+  a.global_bytes_coalesced = 1;
+  a.global_bytes_scattered = 2;
+  a.scratch_ops = 3;
+  a.sort_pass_elements = 4;
+  a.scan_elements = 5;
+  a.hash_probes = 6;
+  a.atomic_ops = 7;
+  a.flops = 8;
+  a.compute_ops = 9;
+  b = a;
+  const auto c = a + b;
+  EXPECT_EQ(c.global_bytes_coalesced, 2u);
+  EXPECT_EQ(c.global_bytes_scattered, 4u);
+  EXPECT_EQ(c.scratch_ops, 6u);
+  EXPECT_EQ(c.sort_pass_elements, 8u);
+  EXPECT_EQ(c.scan_elements, 10u);
+  EXPECT_EQ(c.hash_probes, 12u);
+  EXPECT_EQ(c.atomic_ops, 14u);
+  EXPECT_EQ(c.flops, 16u);
+  EXPECT_EQ(c.compute_ops, 18u);
+}
+
+TEST(ConfigExtras, InputValidationOption) {
+  auto m = gen_uniform_random<double>(50, 50, 3.0, 1.0, 605);
+  Csr<double> broken = m;
+  broken.col_idx[0] = 50;  // out of range
+  Config lax, strict;
+  strict.validate_inputs = true;
+  EXPECT_NO_THROW(multiply(m, m, strict));
+  EXPECT_THROW(multiply(broken, m, strict), std::invalid_argument);
+}
+
+TEST(ConfigExtras, DevicePresets) {
+  EXPECT_EQ(sim::titan_xp().num_sms, 30);
+  EXPECT_EQ(sim::gtx_1080ti().num_sms, 28);
+  EXPECT_EQ(sim::titan_x_pascal().num_sms, 28);
+  // A slower device yields a slower simulated time for the same work.
+  const auto m = gen_uniform_random<double>(1500, 1500, 8.0, 2.0, 606);
+  Config fast, slow;
+  slow.device = sim::titan_x_pascal();
+  SpgemmStats sf, ss;
+  multiply(m, m, fast, &sf);
+  multiply(m, m, slow, &ss);
+  EXPECT_GT(ss.sim_time_s, sf.sim_time_s * 0.99);
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,94 @@
+#include "suite/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "matrix/stats.hpp"
+#include "suite/registry.hpp"
+
+namespace acs {
+namespace {
+
+TEST(Suite, ShowcaseHasSixteenEntriesInPaperOrder) {
+  const auto& s = showcase_suite();
+  ASSERT_EQ(s.size(), 16u);
+  EXPECT_EQ(s.front().name, "language-like");
+  EXPECT_EQ(s.back().name, "TSC_OPF-like");
+}
+
+TEST(Suite, AllEntriesBuildValidMatrices) {
+  for (const auto& entry : full_suite()) {
+    const auto m = build_matrix<double>(entry);
+    EXPECT_EQ(m.validate(), "") << entry.name;
+    EXPECT_GT(m.nnz(), 0) << entry.name;
+    if (entry.square) EXPECT_EQ(m.rows, m.cols) << entry.name;
+  }
+}
+
+TEST(Suite, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& entry : full_suite()) {
+    EXPECT_TRUE(names.insert(entry.name).second) << entry.name;
+  }
+}
+
+TEST(Suite, BuildIsDeterministic) {
+  const auto& entry = full_suite().front();
+  EXPECT_TRUE(
+      build_matrix<double>(entry).equals_exact(build_matrix<double>(entry)));
+}
+
+TEST(Suite, SparsitySplitMatchesPaperShape) {
+  // The paper: 80% of the collection is highly sparse (avg <= 42). The
+  // synthetic suite must cover both sides with a sparse-heavy majority.
+  int sparse = 0, dense = 0;
+  for (const auto& entry : full_suite())
+    (is_highly_sparse(entry) ? sparse : dense)++;
+  EXPECT_GT(sparse, dense);
+  EXPECT_GE(dense, 5);
+}
+
+TEST(Suite, NonSquareEntriesExist) {
+  int non_square = 0;
+  for (const auto& entry : full_suite())
+    if (!entry.square) ++non_square;
+  EXPECT_GE(non_square, 3);
+}
+
+TEST(Suite, FloatAndDoubleBuildsShareStructure) {
+  const auto& entry = showcase_suite()[1];
+  const auto d = build_matrix<double>(entry);
+  const auto f = build_matrix<float>(entry);
+  EXPECT_EQ(d.row_ptr, f.row_ptr);
+  EXPECT_EQ(d.col_idx, f.col_idx);
+}
+
+TEST(Registry, PaperAlgorithmListMatchesTable1) {
+  const auto algos = make_paper_algorithms<double>();
+  ASSERT_EQ(algos.size(), 6u);
+  EXPECT_EQ(algos[0]->name(), "AC-SpGEMM");
+  EXPECT_TRUE(algos[0]->bit_stable());
+  // The paper daggers cuSparse, nsparse and Kokkos as not bit-stable.
+  std::set<std::string> daggered;
+  for (const auto& a : algos)
+    if (!a->bit_stable()) daggered.insert(a->name());
+  EXPECT_EQ(daggered, (std::set<std::string>{"cuSparse", "nsparse", "Kokkos"}));
+}
+
+TEST(Registry, AllAlgorithmsRunOnAShowcaseEntry) {
+  const auto m = build_matrix<double>(showcase_suite()[5]);  // asia_osm-like
+  const auto algos = make_paper_algorithms<double>();
+  const auto ref = algos[0]->multiply(m, m, nullptr);
+  for (const auto& algo : algos) {
+    SpgemmStats stats;
+    const auto c = algo->multiply(m, m, &stats);
+    EXPECT_EQ(c.validate(), "") << algo->name();
+    EXPECT_EQ(c.row_ptr, ref.row_ptr) << algo->name();
+    EXPECT_GT(stats.sim_time_s, 0.0) << algo->name();
+    EXPECT_GT(stats.gflops(), 0.0) << algo->name();
+  }
+}
+
+}  // namespace
+}  // namespace acs

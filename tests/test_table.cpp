@@ -1,0 +1,64 @@
+#include "suite/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace acs {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  const auto s = t.str();
+  std::istringstream in(s);
+  std::string header, sep, r1, r2;
+  std::getline(in, header);
+  std::getline(in, sep);
+  std::getline(in, r1);
+  std::getline(in, r2);
+  EXPECT_EQ(header.size(), r1.size());
+  EXPECT_EQ(r1.size(), r2.size());
+  EXPECT_NE(sep.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, SiFormatting) {
+  EXPECT_EQ(TextTable::si(950), "950");
+  EXPECT_EQ(TextTable::si(12300), "12.3k");
+  EXPECT_EQ(TextTable::si(2.5e6), "2.5M");
+  EXPECT_EQ(TextTable::si(3.1e9), "3.1G");
+}
+
+TEST(CsvWriter, QuotesSpecialCells) {
+  const std::string path = ::testing::TempDir() + "acs_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"plain", "with,comma", "with\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,\"with,comma\",\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace acs

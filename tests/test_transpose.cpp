@@ -1,0 +1,53 @@
+#include "matrix/transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+
+namespace acs {
+namespace {
+
+TEST(Transpose, SmallKnown) {
+  Csr<double> m;
+  m.rows = 2;
+  m.cols = 3;
+  m.row_ptr = {0, 2, 3};
+  m.col_idx = {0, 2, 1};
+  m.values = {1, 2, 3};
+
+  const auto t = transpose(m);
+  EXPECT_EQ(t.validate(), "");
+  EXPECT_EQ(t.rows, 3);
+  EXPECT_EQ(t.cols, 2);
+  ASSERT_EQ(t.nnz(), 3);
+  // t = [1 0; 0 3; 2 0]
+  EXPECT_EQ(t.row_ptr, (std::vector<index_t>{0, 1, 2, 3}));
+  EXPECT_EQ(t.col_idx, (std::vector<index_t>{0, 1, 0}));
+  EXPECT_EQ(t.values, (std::vector<double>{1, 3, 2}));
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  const auto m = gen_uniform_random<double>(200, 120, 7.0, 3.0, 42);
+  const auto tt = transpose(transpose(m));
+  EXPECT_TRUE(m.equals_exact(tt));
+}
+
+TEST(Transpose, EmptyMatrix) {
+  Csr<float> m;
+  m.rows = 4;
+  m.cols = 2;
+  m.row_ptr.assign(5, 0);
+  const auto t = transpose(m);
+  EXPECT_EQ(t.validate(), "");
+  EXPECT_EQ(t.rows, 2);
+  EXPECT_EQ(t.cols, 4);
+  EXPECT_EQ(t.nnz(), 0);
+}
+
+TEST(Transpose, OutputIsValidCsr) {
+  const auto m = gen_powerlaw<double>(300, 150, 5.0, 1.5, 100, 7);
+  EXPECT_EQ(transpose(m).validate(), "");
+}
+
+}  // namespace
+}  // namespace acs

@@ -1,0 +1,23 @@
+#pragma once
+/// Shared helpers for the test suite.
+
+#include <cmath>
+
+#include "matrix/csr.hpp"
+
+namespace acs::testutil {
+
+/// Round all values to multiples of 0.25. Products are then multiples of
+/// 1/16 and sums of moderately many of them are exactly representable in
+/// float and double, so *any* accumulation order gives bit-identical
+/// results — letting tests compare different algorithms exactly.
+template <class T>
+Csr<T> quantize(Csr<T> m) {
+  for (auto& v : m.values) {
+    v = static_cast<T>(std::round(static_cast<double>(v) * 4.0) / 4.0);
+    if (v == T{0}) v = static_cast<T>(0.25);  // keep the sparsity pattern
+  }
+  return m;
+}
+
+}  // namespace acs::testutil

@@ -1,0 +1,72 @@
+#include "suite/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/spa_gustavson.hpp"
+#include "core/acspgemm.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/generators.hpp"
+
+namespace acs {
+namespace {
+
+TEST(Verify, IdenticalMatricesOk) {
+  const auto m = gen_uniform_random<double>(100, 100, 4.0, 1.0, 501);
+  const auto r = verify_product(m, m);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.max_rel_error, 0.0);
+  EXPECT_EQ(r.frobenius_error, 0.0);
+  EXPECT_NE(r.summary().find("OK"), std::string::npos);
+}
+
+TEST(Verify, DetectsStructureMismatchWithLocation) {
+  auto a = gen_uniform_random<double>(50, 50, 4.0, 1.0, 502);
+  auto b = a;
+  // Perturb the column of the 3rd entry of some row.
+  const index_t row = 20;
+  const index_t k = a.row_ptr[row];
+  b.col_idx[static_cast<std::size_t>(k)] =
+      (b.col_idx[static_cast<std::size_t>(k)] + 1) % 50;
+  // Re-sorting may be violated; rebuild through COO to stay canonical.
+  auto coo = Coo<double>::from_csr(b);
+  b = coo.to_csr();
+  const auto r = verify_product(a, b);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.structure_matches);
+  EXPECT_GE(r.first_bad_row, 0);
+  EXPECT_NE(r.summary().find("STRUCTURE"), std::string::npos);
+}
+
+TEST(Verify, DetectsValueDrift) {
+  const auto a = gen_uniform_random<double>(80, 80, 4.0, 1.0, 503);
+  auto b = a;
+  b.values[10] += 1e-3;
+  const auto r = verify_product(a, b, 1e-9);
+  EXPECT_TRUE(r.structure_matches);
+  EXPECT_FALSE(r.values_match);
+  EXPECT_GT(r.max_rel_error, 1e-9);
+  EXPECT_GT(r.frobenius_error, 0.0);
+  EXPECT_NE(r.summary().find("VALUE"), std::string::npos);
+}
+
+TEST(Verify, ToleratesSmallDrift) {
+  const auto a = gen_uniform_random<double>(80, 80, 4.0, 1.0, 504);
+  auto b = a;
+  b.values[5] += 1e-13;
+  EXPECT_TRUE(verify_product(a, b, 1e-10).ok());
+}
+
+TEST(Verify, DimensionMismatch) {
+  const auto a = gen_uniform_random<double>(10, 10, 2.0, 1.0, 505);
+  const auto b = gen_uniform_random<double>(12, 10, 2.0, 1.0, 506);
+  EXPECT_FALSE(verify_product(a, b).ok());
+}
+
+TEST(Verify, AcProductVsOracleWithinTolerance) {
+  const auto m = gen_powerlaw<double>(400, 400, 5.0, 1.7, 150, 507);
+  const auto r = verify_product(multiply(m, m), spa_multiply(m, m), 1e-10);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+}  // namespace
+}  // namespace acs
