@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_rowlen.dir/bench_fig1_rowlen.cpp.o"
+  "CMakeFiles/bench_fig1_rowlen.dir/bench_fig1_rowlen.cpp.o.d"
+  "bench_fig1_rowlen"
+  "bench_fig1_rowlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_rowlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_trend.dir/bench_fig5_trend.cpp.o"
+  "CMakeFiles/bench_fig5_trend.dir/bench_fig5_trend.cpp.o.d"
+  "bench_fig5_trend"
+  "bench_fig5_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_showcase.dir/bench_fig6_showcase.cpp.o"
+  "CMakeFiles/bench_fig6_showcase.dir/bench_fig6_showcase.cpp.o.d"
+  "bench_fig6_showcase"
+  "bench_fig6_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_memcompare.dir/bench_fig8_memcompare.cpp.o"
+  "CMakeFiles/bench_fig8_memcompare.dir/bench_fig8_memcompare.cpp.o.d"
+  "bench_fig8_memcompare"
+  "bench_fig8_memcompare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_memcompare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_suite.dir/bench_full_suite.cpp.o"
+  "CMakeFiles/bench_full_suite.dir/bench_full_suite.cpp.o.d"
+  "bench_full_suite"
+  "bench_full_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_restart_sweep.dir/bench_restart_sweep.cpp.o"
+  "CMakeFiles/bench_restart_sweep.dir/bench_restart_sweep.cpp.o.d"
+  "bench_restart_sweep"
+  "bench_restart_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restart_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_speedup.cpp" "bench/CMakeFiles/bench_table1_speedup.dir/bench_table1_speedup.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_speedup.dir/bench_table1_speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/acs_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/acs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/acs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/acs_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_speedup.dir/bench_table1_speedup.cpp.o"
+  "CMakeFiles/bench_table1_speedup.dir/bench_table1_speedup.cpp.o.d"
+  "bench_table1_speedup"
+  "bench_table1_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_galerkin.dir/amg_galerkin.cpp.o"
+  "CMakeFiles/amg_galerkin.dir/amg_galerkin.cpp.o.d"
+  "amg_galerkin"
+  "amg_galerkin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_galerkin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for amg_galerkin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artifact_cli.dir/artifact_cli.cpp.o"
+  "CMakeFiles/artifact_cli.dir/artifact_cli.cpp.o.d"
+  "artifact_cli"
+  "artifact_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artifact_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstable_demo.dir/bitstable_demo.cpp.o"
+  "CMakeFiles/bitstable_demo.dir/bitstable_demo.cpp.o.d"
+  "bitstable_demo"
+  "bitstable_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstable_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

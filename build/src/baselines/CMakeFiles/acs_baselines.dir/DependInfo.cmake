@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bhsparse.cpp" "src/baselines/CMakeFiles/acs_baselines.dir/bhsparse.cpp.o" "gcc" "src/baselines/CMakeFiles/acs_baselines.dir/bhsparse.cpp.o.d"
+  "/root/repo/src/baselines/cusparse_like.cpp" "src/baselines/CMakeFiles/acs_baselines.dir/cusparse_like.cpp.o" "gcc" "src/baselines/CMakeFiles/acs_baselines.dir/cusparse_like.cpp.o.d"
+  "/root/repo/src/baselines/esc_global.cpp" "src/baselines/CMakeFiles/acs_baselines.dir/esc_global.cpp.o" "gcc" "src/baselines/CMakeFiles/acs_baselines.dir/esc_global.cpp.o.d"
+  "/root/repo/src/baselines/kokkos_like.cpp" "src/baselines/CMakeFiles/acs_baselines.dir/kokkos_like.cpp.o" "gcc" "src/baselines/CMakeFiles/acs_baselines.dir/kokkos_like.cpp.o.d"
+  "/root/repo/src/baselines/nsparse_like.cpp" "src/baselines/CMakeFiles/acs_baselines.dir/nsparse_like.cpp.o" "gcc" "src/baselines/CMakeFiles/acs_baselines.dir/nsparse_like.cpp.o.d"
+  "/root/repo/src/baselines/rmerge.cpp" "src/baselines/CMakeFiles/acs_baselines.dir/rmerge.cpp.o" "gcc" "src/baselines/CMakeFiles/acs_baselines.dir/rmerge.cpp.o.d"
+  "/root/repo/src/baselines/spa_gustavson.cpp" "src/baselines/CMakeFiles/acs_baselines.dir/spa_gustavson.cpp.o" "gcc" "src/baselines/CMakeFiles/acs_baselines.dir/spa_gustavson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/acs_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_baselines.dir/bhsparse.cpp.o"
+  "CMakeFiles/acs_baselines.dir/bhsparse.cpp.o.d"
+  "CMakeFiles/acs_baselines.dir/cusparse_like.cpp.o"
+  "CMakeFiles/acs_baselines.dir/cusparse_like.cpp.o.d"
+  "CMakeFiles/acs_baselines.dir/esc_global.cpp.o"
+  "CMakeFiles/acs_baselines.dir/esc_global.cpp.o.d"
+  "CMakeFiles/acs_baselines.dir/kokkos_like.cpp.o"
+  "CMakeFiles/acs_baselines.dir/kokkos_like.cpp.o.d"
+  "CMakeFiles/acs_baselines.dir/nsparse_like.cpp.o"
+  "CMakeFiles/acs_baselines.dir/nsparse_like.cpp.o.d"
+  "CMakeFiles/acs_baselines.dir/rmerge.cpp.o"
+  "CMakeFiles/acs_baselines.dir/rmerge.cpp.o.d"
+  "CMakeFiles/acs_baselines.dir/spa_gustavson.cpp.o"
+  "CMakeFiles/acs_baselines.dir/spa_gustavson.cpp.o.d"
+  "libacs_baselines.a"
+  "libacs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

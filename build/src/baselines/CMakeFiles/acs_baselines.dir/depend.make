@@ -1,0 +1,2 @@
+# Empty dependencies file for acs_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acspgemm.cpp" "src/core/CMakeFiles/acs_core.dir/acspgemm.cpp.o" "gcc" "src/core/CMakeFiles/acs_core.dir/acspgemm.cpp.o.d"
+  "/root/repo/src/core/esc_block.cpp" "src/core/CMakeFiles/acs_core.dir/esc_block.cpp.o" "gcc" "src/core/CMakeFiles/acs_core.dir/esc_block.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/core/CMakeFiles/acs_core.dir/merge.cpp.o" "gcc" "src/core/CMakeFiles/acs_core.dir/merge.cpp.o.d"
+  "/root/repo/src/core/work_distribution.cpp" "src/core/CMakeFiles/acs_core.dir/work_distribution.cpp.o" "gcc" "src/core/CMakeFiles/acs_core.dir/work_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/acs_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_core.dir/acspgemm.cpp.o"
+  "CMakeFiles/acs_core.dir/acspgemm.cpp.o.d"
+  "CMakeFiles/acs_core.dir/esc_block.cpp.o"
+  "CMakeFiles/acs_core.dir/esc_block.cpp.o.d"
+  "CMakeFiles/acs_core.dir/merge.cpp.o"
+  "CMakeFiles/acs_core.dir/merge.cpp.o.d"
+  "CMakeFiles/acs_core.dir/work_distribution.cpp.o"
+  "CMakeFiles/acs_core.dir/work_distribution.cpp.o.d"
+  "libacs_core.a"
+  "libacs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

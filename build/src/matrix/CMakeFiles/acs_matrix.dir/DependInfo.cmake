@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/binary_io.cpp" "src/matrix/CMakeFiles/acs_matrix.dir/binary_io.cpp.o" "gcc" "src/matrix/CMakeFiles/acs_matrix.dir/binary_io.cpp.o.d"
+  "/root/repo/src/matrix/coo.cpp" "src/matrix/CMakeFiles/acs_matrix.dir/coo.cpp.o" "gcc" "src/matrix/CMakeFiles/acs_matrix.dir/coo.cpp.o.d"
+  "/root/repo/src/matrix/csr.cpp" "src/matrix/CMakeFiles/acs_matrix.dir/csr.cpp.o" "gcc" "src/matrix/CMakeFiles/acs_matrix.dir/csr.cpp.o.d"
+  "/root/repo/src/matrix/generators.cpp" "src/matrix/CMakeFiles/acs_matrix.dir/generators.cpp.o" "gcc" "src/matrix/CMakeFiles/acs_matrix.dir/generators.cpp.o.d"
+  "/root/repo/src/matrix/mmio.cpp" "src/matrix/CMakeFiles/acs_matrix.dir/mmio.cpp.o" "gcc" "src/matrix/CMakeFiles/acs_matrix.dir/mmio.cpp.o.d"
+  "/root/repo/src/matrix/ops.cpp" "src/matrix/CMakeFiles/acs_matrix.dir/ops.cpp.o" "gcc" "src/matrix/CMakeFiles/acs_matrix.dir/ops.cpp.o.d"
+  "/root/repo/src/matrix/stats.cpp" "src/matrix/CMakeFiles/acs_matrix.dir/stats.cpp.o" "gcc" "src/matrix/CMakeFiles/acs_matrix.dir/stats.cpp.o.d"
+  "/root/repo/src/matrix/symbolic.cpp" "src/matrix/CMakeFiles/acs_matrix.dir/symbolic.cpp.o" "gcc" "src/matrix/CMakeFiles/acs_matrix.dir/symbolic.cpp.o.d"
+  "/root/repo/src/matrix/transpose.cpp" "src/matrix/CMakeFiles/acs_matrix.dir/transpose.cpp.o" "gcc" "src/matrix/CMakeFiles/acs_matrix.dir/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

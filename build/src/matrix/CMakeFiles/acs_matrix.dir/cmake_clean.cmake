@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_matrix.dir/binary_io.cpp.o"
+  "CMakeFiles/acs_matrix.dir/binary_io.cpp.o.d"
+  "CMakeFiles/acs_matrix.dir/coo.cpp.o"
+  "CMakeFiles/acs_matrix.dir/coo.cpp.o.d"
+  "CMakeFiles/acs_matrix.dir/csr.cpp.o"
+  "CMakeFiles/acs_matrix.dir/csr.cpp.o.d"
+  "CMakeFiles/acs_matrix.dir/generators.cpp.o"
+  "CMakeFiles/acs_matrix.dir/generators.cpp.o.d"
+  "CMakeFiles/acs_matrix.dir/mmio.cpp.o"
+  "CMakeFiles/acs_matrix.dir/mmio.cpp.o.d"
+  "CMakeFiles/acs_matrix.dir/ops.cpp.o"
+  "CMakeFiles/acs_matrix.dir/ops.cpp.o.d"
+  "CMakeFiles/acs_matrix.dir/stats.cpp.o"
+  "CMakeFiles/acs_matrix.dir/stats.cpp.o.d"
+  "CMakeFiles/acs_matrix.dir/symbolic.cpp.o"
+  "CMakeFiles/acs_matrix.dir/symbolic.cpp.o.d"
+  "CMakeFiles/acs_matrix.dir/transpose.cpp.o"
+  "CMakeFiles/acs_matrix.dir/transpose.cpp.o.d"
+  "libacs_matrix.a"
+  "libacs_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

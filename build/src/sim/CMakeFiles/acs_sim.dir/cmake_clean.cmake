@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/acs_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/acs_sim.dir/metrics.cpp.o"
+  "CMakeFiles/acs_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/acs_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/acs_sim.dir/scheduler.cpp.o.d"
+  "libacs_sim.a"
+  "libacs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

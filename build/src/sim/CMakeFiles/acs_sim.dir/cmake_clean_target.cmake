@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacs_sim.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/bench_runner.cpp" "src/suite/CMakeFiles/acs_suite.dir/bench_runner.cpp.o" "gcc" "src/suite/CMakeFiles/acs_suite.dir/bench_runner.cpp.o.d"
+  "/root/repo/src/suite/hybrid.cpp" "src/suite/CMakeFiles/acs_suite.dir/hybrid.cpp.o" "gcc" "src/suite/CMakeFiles/acs_suite.dir/hybrid.cpp.o.d"
+  "/root/repo/src/suite/registry.cpp" "src/suite/CMakeFiles/acs_suite.dir/registry.cpp.o" "gcc" "src/suite/CMakeFiles/acs_suite.dir/registry.cpp.o.d"
+  "/root/repo/src/suite/suite.cpp" "src/suite/CMakeFiles/acs_suite.dir/suite.cpp.o" "gcc" "src/suite/CMakeFiles/acs_suite.dir/suite.cpp.o.d"
+  "/root/repo/src/suite/table.cpp" "src/suite/CMakeFiles/acs_suite.dir/table.cpp.o" "gcc" "src/suite/CMakeFiles/acs_suite.dir/table.cpp.o.d"
+  "/root/repo/src/suite/verify.cpp" "src/suite/CMakeFiles/acs_suite.dir/verify.cpp.o" "gcc" "src/suite/CMakeFiles/acs_suite.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/acs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/acs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/acs_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_suite.dir/bench_runner.cpp.o"
+  "CMakeFiles/acs_suite.dir/bench_runner.cpp.o.d"
+  "CMakeFiles/acs_suite.dir/hybrid.cpp.o"
+  "CMakeFiles/acs_suite.dir/hybrid.cpp.o.d"
+  "CMakeFiles/acs_suite.dir/registry.cpp.o"
+  "CMakeFiles/acs_suite.dir/registry.cpp.o.d"
+  "CMakeFiles/acs_suite.dir/suite.cpp.o"
+  "CMakeFiles/acs_suite.dir/suite.cpp.o.d"
+  "CMakeFiles/acs_suite.dir/table.cpp.o"
+  "CMakeFiles/acs_suite.dir/table.cpp.o.d"
+  "CMakeFiles/acs_suite.dir/verify.cpp.o"
+  "CMakeFiles/acs_suite.dir/verify.cpp.o.d"
+  "libacs_suite.a"
+  "libacs_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acspgemm.dir/test_acspgemm.cpp.o"
+  "CMakeFiles/test_acspgemm.dir/test_acspgemm.cpp.o.d"
+  "test_acspgemm"
+  "test_acspgemm.pdb"
+  "test_acspgemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acspgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

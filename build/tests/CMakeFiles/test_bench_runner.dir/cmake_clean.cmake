@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_runner.dir/test_bench_runner.cpp.o"
+  "CMakeFiles/test_bench_runner.dir/test_bench_runner.cpp.o.d"
+  "test_bench_runner"
+  "test_bench_runner.pdb"
+  "test_bench_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary_io.dir/test_binary_io.cpp.o"
+  "CMakeFiles/test_binary_io.dir/test_binary_io.cpp.o.d"
+  "test_binary_io"
+  "test_binary_io.pdb"
+  "test_binary_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk.dir/test_chunk.cpp.o"
+  "CMakeFiles/test_chunk.dir/test_chunk.cpp.o.d"
+  "test_chunk"
+  "test_chunk.pdb"
+  "test_chunk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

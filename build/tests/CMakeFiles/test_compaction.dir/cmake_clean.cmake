@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compaction.dir/test_compaction.cpp.o"
+  "CMakeFiles/test_compaction.dir/test_compaction.cpp.o.d"
+  "test_compaction"
+  "test_compaction.pdb"
+  "test_compaction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coo.dir/test_coo.cpp.o"
+  "CMakeFiles/test_coo.dir/test_coo.cpp.o.d"
+  "test_coo"
+  "test_coo.pdb"
+  "test_coo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

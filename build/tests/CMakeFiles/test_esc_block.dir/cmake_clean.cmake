@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_esc_block.dir/test_esc_block.cpp.o"
+  "CMakeFiles/test_esc_block.dir/test_esc_block.cpp.o.d"
+  "test_esc_block"
+  "test_esc_block.pdb"
+  "test_esc_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_esc_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

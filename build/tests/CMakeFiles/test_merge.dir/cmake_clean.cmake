@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge.dir/test_merge.cpp.o"
+  "CMakeFiles/test_merge.dir/test_merge.cpp.o.d"
+  "test_merge"
+  "test_merge.pdb"
+  "test_merge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmio.dir/test_mmio.cpp.o"
+  "CMakeFiles/test_mmio.dir/test_mmio.cpp.o.d"
+  "test_mmio"
+  "test_mmio.pdb"
+  "test_mmio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

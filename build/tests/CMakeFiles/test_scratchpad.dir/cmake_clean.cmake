@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scratchpad.dir/test_scratchpad.cpp.o"
+  "CMakeFiles/test_scratchpad.dir/test_scratchpad.cpp.o.d"
+  "test_scratchpad"
+  "test_scratchpad.pdb"
+  "test_scratchpad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scratchpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

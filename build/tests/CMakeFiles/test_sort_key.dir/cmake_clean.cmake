@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sort_key.dir/test_sort_key.cpp.o"
+  "CMakeFiles/test_sort_key.dir/test_sort_key.cpp.o.d"
+  "test_sort_key"
+  "test_sort_key.pdb"
+  "test_sort_key[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sort_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sort_key.
+# This may be replaced when dependencies are built.

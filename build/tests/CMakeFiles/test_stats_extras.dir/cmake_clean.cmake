@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_extras.dir/test_stats_extras.cpp.o"
+  "CMakeFiles/test_stats_extras.dir/test_stats_extras.cpp.o.d"
+  "test_stats_extras"
+  "test_stats_extras.pdb"
+  "test_stats_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

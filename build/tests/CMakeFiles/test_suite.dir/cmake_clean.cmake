@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite.dir/test_suite.cpp.o"
+  "CMakeFiles/test_suite.dir/test_suite.cpp.o.d"
+  "test_suite"
+  "test_suite.pdb"
+  "test_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

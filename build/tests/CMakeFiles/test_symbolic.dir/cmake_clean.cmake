@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic.dir/test_symbolic.cpp.o"
+  "CMakeFiles/test_symbolic.dir/test_symbolic.cpp.o.d"
+  "test_symbolic"
+  "test_symbolic.pdb"
+  "test_symbolic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

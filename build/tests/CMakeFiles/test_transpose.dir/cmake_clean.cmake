@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transpose.dir/test_transpose.cpp.o"
+  "CMakeFiles/test_transpose.dir/test_transpose.cpp.o.d"
+  "test_transpose"
+  "test_transpose.pdb"
+  "test_transpose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

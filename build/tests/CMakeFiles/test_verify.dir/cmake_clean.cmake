@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify.dir/test_verify.cpp.o"
+  "CMakeFiles/test_verify.dir/test_verify.cpp.o.d"
+  "test_verify"
+  "test_verify.pdb"
+  "test_verify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

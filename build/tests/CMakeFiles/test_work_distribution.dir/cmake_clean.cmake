@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_work_distribution.dir/test_work_distribution.cpp.o"
+  "CMakeFiles/test_work_distribution.dir/test_work_distribution.cpp.o.d"
+  "test_work_distribution"
+  "test_work_distribution.pdb"
+  "test_work_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_work_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
