@@ -39,13 +39,17 @@ template <class T>
 class Pipeline {
  public:
   Pipeline(const Csr<T>& a, const Csr<T>& b, const Config& cfg,
-           SpgemmStats& stats)
+           SpgemmPlan& plan, SpgemmStats& stats,
+           sim::BlockScheduler* scheduler)
       : a_(a),
         b_(b),
         cfg_(cfg),
         stats_(stats),
-        scheduler_(cfg.scheduler_threads),
-        initial_pool_(estimate_chunk_pool_bytes(a, b, cfg)),
+        plan_(plan),
+        own_scheduler_(scheduler ? 1 : cfg.scheduler_threads),
+        scheduler_(scheduler ? *scheduler : own_scheduler_),
+        initial_pool_(plan.pool_bytes ? plan.pool_bytes
+                                      : estimate_chunk_pool_bytes(a, b, cfg)),
         pool_(initial_pool_) {
     validate();
   }
@@ -112,6 +116,15 @@ class Pipeline {
 
   // --- Stage 1: global load balancing (Algorithm 1). -----------------------
   void global_load_balance() {
+    if (plan_.has_load_balance(cfg_, a_.nnz())) {
+      // blockRowStarts depends only on A's row pointer; reusing the plan's
+      // table skips the kernel entirely (no launch, no simulated time).
+      block_row_starts_ = plan_.block_row_starts;
+      num_blocks_ = block_row_starts_.size();
+      stats_.glb_reused = true;
+      stats_.stage_times_s.emplace_back("GLB", 0.0);
+      return;
+    }
     num_blocks_ = static_cast<std::size_t>(
         divup<offset_t>(a_.nnz(), cfg_.nnz_per_block));
     block_row_starts_.assign(num_blocks_, 0);
@@ -387,6 +400,17 @@ class Pipeline {
     stats_.pool_bytes = pool_.capacity();
     stats_.pool_used_bytes = pool_.used();
     stats_.chunks_created = chunks_.size();
+    // Refresh the plan: the load-balancing table (unless it came from the
+    // plan already) and the final pool capacity. The capacity includes any
+    // restart growth, so replaying the plan on the same pattern needs no
+    // restarts.
+    if (!stats_.glb_reused) plan_.block_row_starts = block_row_starts_;
+    plan_.nnz_per_block = cfg_.nnz_per_block;
+    plan_.nnz_a = a_.nnz();
+    plan_.pool_bytes = pool_.capacity();
+    plan_.observed_pool_used = pool_.used();
+    plan_.observed_restarts = stats_.restarts;
+    ++plan_.runs;
     stats_.helper_bytes =
         num_blocks_ * (sizeof(index_t) + 16) +       // blockRowStarts + restart info
         static_cast<std::size_t>(a_.rows) *
@@ -399,7 +423,9 @@ class Pipeline {
   const Csr<T>& b_;
   const Config& cfg_;
   SpgemmStats& stats_;
-  sim::BlockScheduler scheduler_;
+  SpgemmPlan& plan_;
+  sim::BlockScheduler own_scheduler_;
+  sim::BlockScheduler& scheduler_;
   std::size_t initial_pool_;
   ChunkPool pool_;
 
@@ -436,13 +462,14 @@ std::size_t estimate_chunk_pool_bytes(const Csr<T>& a, const Csr<T>& b,
 }
 
 template <class T>
-Csr<T> multiply(const Csr<T>& a, const Csr<T>& b, const Config& cfg,
-                SpgemmStats* stats) {
+Csr<T> multiply_planned(const Csr<T>& a, const Csr<T>& b, const Config& cfg,
+                        SpgemmPlan& plan, SpgemmStats* stats,
+                        sim::BlockScheduler* scheduler) {
   SpgemmStats local;
   SpgemmStats& s = stats ? *stats : local;
   s = SpgemmStats{};
   const auto t0 = std::chrono::steady_clock::now();
-  Pipeline<T> pipeline(a, b, cfg, s);
+  Pipeline<T> pipeline(a, b, cfg, plan, s, scheduler);
   Csr<T> c = pipeline.run();
   s.wall_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -450,10 +477,23 @@ Csr<T> multiply(const Csr<T>& a, const Csr<T>& b, const Config& cfg,
   return c;
 }
 
+template <class T>
+Csr<T> multiply(const Csr<T>& a, const Csr<T>& b, const Config& cfg,
+                SpgemmStats* stats) {
+  SpgemmPlan plan;
+  return multiply_planned(a, b, cfg, plan, stats, nullptr);
+}
+
 template Csr<float> multiply(const Csr<float>&, const Csr<float>&,
                              const Config&, SpgemmStats*);
 template Csr<double> multiply(const Csr<double>&, const Csr<double>&,
                               const Config&, SpgemmStats*);
+template Csr<float> multiply_planned(const Csr<float>&, const Csr<float>&,
+                                     const Config&, SpgemmPlan&, SpgemmStats*,
+                                     sim::BlockScheduler*);
+template Csr<double> multiply_planned(const Csr<double>&, const Csr<double>&,
+                                      const Config&, SpgemmPlan&, SpgemmStats*,
+                                      sim::BlockScheduler*);
 template std::size_t estimate_chunk_pool_bytes(const Csr<float>&,
                                                const Csr<float>&,
                                                const Config&);

@@ -20,7 +20,9 @@
 /// \endcode
 
 #include "core/config.hpp"
+#include "core/plan.hpp"
 #include "matrix/csr.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/spgemm_stats.hpp"
 
 namespace acs {
@@ -34,6 +36,22 @@ template <class T>
 Csr<T> multiply(const Csr<T>& a, const Csr<T>& b, const Config& cfg = {},
                 SpgemmStats* stats = nullptr);
 
+/// Plan-in/plan-out variant of `multiply`: structure-dependent setup work is
+/// read from and written back to `plan`. A plan whose load-balancing table
+/// matches (same nnz(A), same nnz_per_block) skips the GLB pass; a non-zero
+/// `plan.pool_bytes` replaces the paper's memory estimate with the learned
+/// capacity, so a plan replayed on the same sparsity pattern runs without
+/// restarts. The output is bit-identical to the plain `multiply` — plans
+/// only shortcut work, they never change results (determinism contract,
+/// DESIGN.md §6). `scheduler`, when non-null, executes the simulated blocks
+/// instead of a per-call scheduler, letting callers (the runtime Engine)
+/// keep one warm thread pool across many multiplications; it must outlive
+/// the call and not be shared with a concurrent multiplication.
+template <class T>
+Csr<T> multiply_planned(const Csr<T>& a, const Csr<T>& b, const Config& cfg,
+                        SpgemmPlan& plan, SpgemmStats* stats = nullptr,
+                        sim::BlockScheduler* scheduler = nullptr);
+
 /// The paper's simplistic chunk-pool estimate (Section 4): expected nnz of
 /// C under a uniform-row model, times (4 + sizeof(T)) bytes per element,
 /// times `cfg.pool_estimate_factor`, clamped to `cfg.pool_lower_bound_bytes`.
@@ -45,6 +63,14 @@ extern template Csr<float> multiply(const Csr<float>&, const Csr<float>&,
                                     const Config&, SpgemmStats*);
 extern template Csr<double> multiply(const Csr<double>&, const Csr<double>&,
                                      const Config&, SpgemmStats*);
+extern template Csr<float> multiply_planned(const Csr<float>&,
+                                            const Csr<float>&, const Config&,
+                                            SpgemmPlan&, SpgemmStats*,
+                                            sim::BlockScheduler*);
+extern template Csr<double> multiply_planned(const Csr<double>&,
+                                             const Csr<double>&, const Config&,
+                                             SpgemmPlan&, SpgemmStats*,
+                                             sim::BlockScheduler*);
 extern template std::size_t estimate_chunk_pool_bytes(const Csr<float>&,
                                                       const Csr<float>&,
                                                       const Config&);

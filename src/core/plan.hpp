@@ -1,0 +1,52 @@
+#pragma once
+/// \file plan.hpp
+/// Reusable execution plan for AC-SpGEMM. The first two things every
+/// `multiply` does — global load balancing over A's non-zeros (Algorithm 1)
+/// and the simplistic chunk-pool estimate (Section 4) — depend only on the
+/// operands' sparsity structure, not on their values. A plan captures both,
+/// plus the restart feedback of past runs, so repeated multiplications of
+/// identically structured matrices (AMG Galerkin chains, iterative graph
+/// kernels) skip the setup work and start from a pool size that is known to
+/// suffice. `src/runtime` keys plans by a structure fingerprint and caches
+/// them across jobs; `multiply_planned` is the core entry point that
+/// consumes and refreshes one.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "matrix/types.hpp"
+
+namespace acs {
+
+struct SpgemmPlan {
+  /// blockRowStarts of Algorithm 1, one entry per block. Empty means the
+  /// plan carries no load-balancing table yet and the pipeline builds one.
+  std::vector<index_t> block_row_starts;
+  /// Decomposition the table was built for; a plan only applies to a run
+  /// with the same `Config::nnz_per_block` ...
+  int nnz_per_block = 0;
+  /// ... and the same nnz(A) (same structure implies same nnz).
+  offset_t nnz_a = 0;
+  /// Initial chunk-pool capacity to use; 0 = run the paper's estimate.
+  /// After a run this holds the final capacity including restart growth, so
+  /// replaying the plan needs no restarts.
+  std::size_t pool_bytes = 0;
+
+  // --- Feedback from the most recent planned run. ------------------------
+  /// Pool bytes actually used (the high-water mark future sizing rests on).
+  std::size_t observed_pool_used = 0;
+  /// Restarts the last run incurred (0 once the plan has converged).
+  int observed_restarts = 0;
+  /// Completed runs recorded into this plan.
+  std::size_t runs = 0;
+
+  /// True if the stored load-balancing table can be reused for a
+  /// multiplication of an A with `nnz` non-zeros under `cfg`.
+  [[nodiscard]] bool has_load_balance(const Config& cfg, offset_t nnz) const {
+    return !block_row_starts.empty() && nnz_per_block == cfg.nnz_per_block &&
+           nnz_a == nnz;
+  }
+};
+
+}  // namespace acs

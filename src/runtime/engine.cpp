@@ -1,0 +1,146 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+
+#include "runtime/fingerprint.hpp"
+
+namespace acs::runtime {
+
+template <class T>
+Engine<T>::Engine(EngineConfig config)
+    : config_(config), cache_(config.plan_cache_capacity) {
+  unsigned n = config_.workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this] { work_loop(); });
+}
+
+template <class T>
+Engine<T>::~Engine() {
+  wait_all();
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+template <class T>
+JobHandle<T> Engine<T>::submit(Csr<T> a, Csr<T> b, Config cfg) {
+  auto state = std::make_shared<detail::JobState<T>>();
+  state->a = std::move(a);
+  state->b = std::move(b);
+  state->cfg = cfg;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    queue_.push_back(state);
+    ++in_flight_;
+    ++stats_.jobs_submitted;
+  }
+  work_cv_.notify_one();
+  return JobHandle<T>(std::move(state));
+}
+
+template <class T>
+std::vector<JobResult<T>> Engine<T>::multiply_batch(
+    const std::vector<std::pair<Csr<T>, Csr<T>>>& pairs, const Config& cfg) {
+  std::vector<JobHandle<T>> handles;
+  handles.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) handles.push_back(submit(a, b, cfg));
+  std::vector<JobResult<T>> results;
+  results.reserve(handles.size());
+  for (auto& h : handles) results.push_back(std::move(h.result()));
+  return results;
+}
+
+template <class T>
+void Engine<T>::wait_all() {
+  std::unique_lock<std::mutex> lock(m_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+template <class T>
+EngineStats Engine<T>::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return stats_;
+}
+
+template <class T>
+void Engine<T>::work_loop() {
+  WorkerContext ctx;
+  for (;;) {
+    std::shared_ptr<detail::JobState<T>> job;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to do
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_job(*job, ctx);
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+template <class T>
+void Engine<T>::run_job(detail::JobState<T>& job, WorkerContext& ctx) {
+  JobResult<T> result;
+  std::exception_ptr error;
+  bool leased = false;
+  typename PoolArena::Lease lease;
+  try {
+    const Fingerprint key = fingerprint(job.a, job.b);
+    SpgemmPlan plan;
+    const bool hit = config_.use_plan_cache && cache_.lookup(key, plan);
+
+    std::size_t want = plan.pool_bytes
+                           ? plan.pool_bytes
+                           : estimate_chunk_pool_bytes(job.a, job.b, job.cfg);
+    if (config_.use_pool_arena) {
+      lease = arena_.acquire(want);
+      leased = true;
+      want = lease.bytes;
+    }
+    plan.pool_bytes = want;
+
+    if (!ctx.scheduler || ctx.scheduler_threads != job.cfg.scheduler_threads) {
+      ctx.scheduler =
+          std::make_unique<sim::BlockScheduler>(job.cfg.scheduler_threads);
+      ctx.scheduler_threads = job.cfg.scheduler_threads;
+    }
+
+    result.c = multiply_planned(job.a, job.b, job.cfg, plan, &result.stats,
+                                ctx.scheduler.get());
+    result.plan_hit = hit;
+    result.pool_reused_bytes = lease.reused_bytes;
+
+    if (leased) {
+      // The final capacity (including restart growth) becomes the slab.
+      arena_.release(result.stats.pool_bytes);
+      leased = false;
+    }
+    if (config_.use_plan_cache) cache_.store(key, std::move(plan));
+  } catch (...) {
+    error = std::current_exception();
+    if (leased) arena_.release(lease.bytes);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    ++stats_.jobs_completed;
+    if (error) ++stats_.jobs_failed;
+    stats_.restarts += static_cast<std::size_t>(
+        std::max(0, result.stats.restarts));
+  }
+  job.complete(std::move(result), error);
+}
+
+template class Engine<float>;
+template class Engine<double>;
+
+}  // namespace acs::runtime

@@ -1,0 +1,203 @@
+#pragma once
+/// \file engine.hpp
+/// Batched, plan-caching SpGEMM execution engine. An Engine owns a job
+/// queue and a worker pool: `submit` enqueues one multiplication C = A·B
+/// and returns a future-like JobHandle, `multiply_batch` runs a whole batch
+/// and collects the results. Every job goes through the plan cache (reusing
+/// global load balancing and learned pool sizes across identical sparsity
+/// patterns) and the pool arena (recycling chunk-pool capacity instead of
+/// allocating per call), and each engine worker keeps one warm
+/// BlockScheduler across jobs.
+///
+/// Determinism: each job individually keeps the DESIGN.md §6 contract —
+/// its output is bit-identical for any engine worker count, any plan-cache
+/// state and any pool-arena state, because plans and recycled pools only
+/// shortcut setup work (the restart/pool-size independence of the core
+/// pipeline is property-tested). Per-job *statistics* (restarts, pool
+/// bytes) may differ between cold and warm runs; results never do.
+///
+/// Example:
+/// \code
+///   acs::runtime::Engine<double> engine({.workers = 4});
+///   auto h1 = engine.submit(a, p);
+///   auto h2 = engine.submit(r, ap);
+///   acs::Csr<double> ap2 = h1.result().c;   // blocks until done
+///   double rate = engine.plan_counters().hit_rate();
+/// \endcode
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/acspgemm.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/pool_arena.hpp"
+
+namespace acs::runtime {
+
+struct EngineConfig {
+  /// Worker threads executing jobs; 0 = std::thread::hardware_concurrency().
+  /// Each job runs on one worker (its simulated blocks may additionally use
+  /// `Config::scheduler_threads` scheduler threads).
+  unsigned workers = 1;
+  /// Maximum plans kept by the LRU plan cache.
+  std::size_t plan_cache_capacity = 64;
+  /// Reuse load balancing + learned pool sizes across identical patterns.
+  bool use_plan_cache = true;
+  /// Recycle chunk-pool capacity across jobs instead of per-call allocation.
+  bool use_pool_arena = true;
+};
+
+/// Aggregate engine statistics (plan and pool details come from
+/// `Engine::plan_counters()` / `Engine::arena_counters()`).
+struct EngineStats {
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;  ///< includes failed jobs
+  std::size_t jobs_failed = 0;
+  std::size_t restarts = 0;        ///< summed over completed jobs
+};
+
+template <class T>
+struct JobResult {
+  Csr<T> c;
+  SpgemmStats stats;
+  bool plan_hit = false;             ///< plan served from the cache
+  std::size_t pool_reused_bytes = 0; ///< pool request covered by the arena
+};
+
+namespace detail {
+
+template <class T>
+struct JobState {
+  Csr<T> a;
+  Csr<T> b;
+  Config cfg;
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  JobResult<T> result;
+  std::exception_ptr error;
+
+  void complete(JobResult<T> r, std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      result = std::move(r);
+      error = e;
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+template <class T>
+class Engine;
+
+/// Future-like handle to a submitted job. Cheap to copy; all copies refer
+/// to the same result.
+template <class T>
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  [[nodiscard]] bool ready() const {
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->done;
+  }
+
+  void wait() const {
+    std::unique_lock<std::mutex> lock(state_->m);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+
+  /// Block until the job finishes; rethrows the job's exception (e.g.
+  /// dimension mismatch) if it failed. The reference stays valid as long as
+  /// any handle to the job exists.
+  [[nodiscard]] JobResult<T>& result() const {
+    wait();
+    if (state_->error) std::rethrow_exception(state_->error);
+    return state_->result;
+  }
+
+ private:
+  friend class Engine<T>;
+  explicit JobHandle(std::shared_ptr<detail::JobState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::JobState<T>> state_;
+};
+
+template <class T>
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  /// Drains the queue (waits for every submitted job) before stopping.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueue C = A·B. Operands are taken by value: move them in to avoid
+  /// the copy, or pass lvalues to keep the caller's matrices.
+  JobHandle<T> submit(Csr<T> a, Csr<T> b, Config cfg = {});
+
+  /// Submit every pair and wait for all of them; results are returned in
+  /// submission order. Rethrows the first failing job's exception.
+  std::vector<JobResult<T>> multiply_batch(
+      const std::vector<std::pair<Csr<T>, Csr<T>>>& pairs,
+      const Config& cfg = {});
+
+  /// Block until every submitted job has completed.
+  void wait_all();
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] PlanCache::Counters plan_counters() const {
+    return cache_.counters();
+  }
+  [[nodiscard]] PoolArena::Counters arena_counters() const {
+    return arena_.counters();
+  }
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  /// Per-worker reusable state: one warm BlockScheduler, rebuilt only when
+  /// a job requests a different scheduler thread count.
+  struct WorkerContext {
+    std::unique_ptr<sim::BlockScheduler> scheduler;
+    unsigned scheduler_threads = 0;
+  };
+
+  void work_loop();
+  void run_job(detail::JobState<T>& job, WorkerContext& ctx);
+
+  EngineConfig config_;
+  PlanCache cache_;
+  PoolArena arena_;
+
+  mutable std::mutex m_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::shared_ptr<detail::JobState<T>>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + executing
+  bool stop_ = false;
+  EngineStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+extern template class Engine<float>;
+extern template class Engine<double>;
+
+}  // namespace acs::runtime

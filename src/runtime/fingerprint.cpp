@@ -1,0 +1,37 @@
+#include "runtime/fingerprint.hpp"
+
+namespace acs::runtime {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a_step(std::uint64_t h, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (value >> (8 * byte)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t hash_indices(const index_t* data, std::size_t count) {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < count; ++i)
+    h = fnv1a_step(h, static_cast<std::uint64_t>(data[i]));
+  return h;
+}
+
+std::uint64_t Fingerprint::hash() const {
+  std::uint64_t h = fnv1a_step(kFnvOffset, row_ptr_hash);
+  h = fnv1a_step(h, static_cast<std::uint64_t>(rows_a));
+  h = fnv1a_step(h, static_cast<std::uint64_t>(cols_a));
+  h = fnv1a_step(h, static_cast<std::uint64_t>(nnz_a));
+  h = fnv1a_step(h, static_cast<std::uint64_t>(rows_b));
+  h = fnv1a_step(h, static_cast<std::uint64_t>(cols_b));
+  h = fnv1a_step(h, static_cast<std::uint64_t>(nnz_b));
+  return h;
+}
+
+}  // namespace acs::runtime

@@ -1,0 +1,64 @@
+#include "runtime/pool_arena.hpp"
+
+#include <algorithm>
+
+namespace acs::runtime {
+
+PoolArena::Lease PoolArena::acquire(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(m_);
+  ++counters_.acquires;
+  ++counters_.outstanding;
+
+  Lease lease;
+  // Best fit: the smallest slab that covers the request, handed out whole.
+  if (const auto it = slabs_.lower_bound(bytes); it != slabs_.end()) {
+    lease.bytes = *it;
+    lease.reused_bytes = bytes;
+    slabs_.erase(it);
+    ++counters_.reuse_hits;
+    counters_.reused_bytes += bytes;
+    return lease;
+  }
+  // No slab is big enough: grow the largest one instead of allocating a
+  // disjoint fresh pool (the paper's restart growth, amortized).
+  if (!slabs_.empty()) {
+    const auto largest = std::prev(slabs_.end());
+    lease.reused_bytes = *largest;
+    counters_.reused_bytes += *largest;
+    counters_.fresh_bytes += bytes - *largest;
+    slabs_.erase(largest);
+    ++counters_.reuse_hits;
+  } else {
+    counters_.fresh_bytes += bytes;
+  }
+  lease.bytes = bytes;
+  return lease;
+}
+
+void PoolArena::release(std::size_t final_bytes) {
+  std::lock_guard<std::mutex> lock(m_);
+  slabs_.insert(final_bytes);
+  counters_.high_water_bytes =
+      std::max(counters_.high_water_bytes, final_bytes);
+  if (counters_.outstanding > 0) --counters_.outstanding;
+}
+
+PoolArena::Counters PoolArena::counters() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return counters_;
+}
+
+std::size_t PoolArena::free_bytes() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::size_t total = 0;
+  for (const std::size_t s : slabs_) total += s;
+  return total;
+}
+
+void PoolArena::clear() {
+  std::lock_guard<std::mutex> lock(m_);
+  slabs_.clear();
+  counters_ = Counters{};
+}
+
+}  // namespace acs::runtime

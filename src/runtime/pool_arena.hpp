@@ -1,0 +1,57 @@
+#pragma once
+/// \file pool_arena.hpp
+/// Recycles chunk-pool capacity across SpGEMM jobs. The GPU library would
+/// keep cudaMalloc'd regions alive between calls; the simulator's ChunkPool
+/// is an accounting object, so the arena recycles *capacity reservations*
+/// with the same high-water-mark policy: a released pool returns to the
+/// arena as a slab, `acquire` prefers an existing slab over a fresh
+/// allocation (growing the largest one when none is big enough), and slabs
+/// are never shrunk or freed. Combined with the plan cache's learned pool
+/// sizes, repeated workloads stop allocating entirely and converge to zero
+/// restarts. Thread-safe.
+
+#include <cstddef>
+#include <mutex>
+#include <set>
+
+namespace acs::runtime {
+
+class PoolArena {
+ public:
+  struct Lease {
+    /// Capacity handed to the job's ChunkPool (>= the requested bytes; a
+    /// recycled slab is handed out whole — a larger pool never hurts).
+    std::size_t bytes = 0;
+    /// Portion of the request served from recycled capacity.
+    std::size_t reused_bytes = 0;
+  };
+
+  /// Reserve at least `bytes` of pool capacity.
+  Lease acquire(std::size_t bytes);
+
+  /// Return a lease. `final_bytes` is the pool capacity at the end of the
+  /// job — initial lease plus any restart growth — which becomes the slab's
+  /// new (high-water) size.
+  void release(std::size_t final_bytes);
+
+  struct Counters {
+    std::size_t fresh_bytes = 0;    ///< capacity newly allocated
+    std::size_t reused_bytes = 0;   ///< request bytes served from slabs
+    std::size_t acquires = 0;
+    std::size_t reuse_hits = 0;     ///< acquires served at least partly from a slab
+    std::size_t high_water_bytes = 0;  ///< largest slab ever released
+    std::size_t outstanding = 0;    ///< leases not yet released
+  };
+
+  [[nodiscard]] Counters counters() const;
+  /// Total capacity currently parked in free slabs.
+  [[nodiscard]] std::size_t free_bytes() const;
+  void clear();
+
+ private:
+  mutable std::mutex m_;
+  std::multiset<std::size_t> slabs_;
+  Counters counters_;
+};
+
+}  // namespace acs::runtime

@@ -1,6 +1,8 @@
 #include "sim/scheduler.hpp"
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -8,9 +10,73 @@
 
 namespace acs::sim {
 
+/// Parked worker threads plus the state of the current dispatch. Workers
+/// wake on a generation bump, pull block ids from a shared atomic counter
+/// (the GPU's global block dispatcher) and signal completion when the last
+/// one runs out of blocks.
+struct BlockScheduler::Pool {
+  std::mutex m;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  std::size_t num_blocks = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t running = 0;
+  std::exception_ptr error;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  explicit Pool(unsigned n) {
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+      workers.emplace_back([this] { work_loop(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      stop = true;
+    }
+    work_cv.notify_all();
+    for (auto& t : workers) t.join();
+  }
+
+  void work_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* job;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        job = body;
+      }
+      for (;;) {
+        const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+        if (b >= num_blocks) break;
+        try {
+          (*job)(b);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(m);
+          if (!error) error = std::current_exception();
+          break;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(m);
+        if (--running == 0) done_cv.notify_one();
+      }
+    }
+  }
+};
+
 BlockScheduler::BlockScheduler(unsigned threads) : threads_(threads) {
   if (threads_ == 0) threads_ = std::max(1u, std::thread::hardware_concurrency());
 }
+
+BlockScheduler::~BlockScheduler() = default;
 
 void BlockScheduler::for_each_block(
     std::size_t num_blocks, const std::function<void(std::size_t)>& body) const {
@@ -20,30 +86,22 @@ void BlockScheduler::for_each_block(
     return;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  if (!pool_) pool_ = std::make_unique<Pool>(threads_);
+  Pool& p = *pool_;
 
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
-      if (b >= num_blocks) return;
-      try {
-        body(b);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  const unsigned n = std::min<std::size_t>(threads_, num_blocks);
-  pool.reserve(n);
-  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  std::unique_lock<std::mutex> lock(p.m);
+  p.num_blocks = num_blocks;
+  p.body = &body;
+  p.next.store(0, std::memory_order_relaxed);
+  p.running = p.workers.size();
+  p.error = nullptr;
+  ++p.generation;
+  p.work_cv.notify_all();
+  p.done_cv.wait(lock, [&] { return p.running == 0; });
+  const std::exception_ptr err = p.error;
+  p.body = nullptr;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace acs::sim

@@ -47,6 +47,9 @@ struct SpgemmStats {
   std::size_t long_row_chunks = 0;
   /// Rows shared between chunks that required merging.
   std::size_t merged_rows = 0;
+  /// Global load balancing was satisfied from a reused SpgemmPlan instead of
+  /// a fresh Algorithm 1 pass (see core/plan.hpp).
+  bool glb_reused = false;
 
   /// GFLOPS at the simulated time, using the 2-flops-per-product convention.
   [[nodiscard]] double gflops() const {

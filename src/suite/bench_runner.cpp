@@ -1,5 +1,9 @@
 #include "suite/bench_runner.hpp"
 
+#include <algorithm>
+#include <chrono>
+
+#include "core/acspgemm.hpp"
 #include "matrix/stats.hpp"
 #include "matrix/transpose.hpp"
 
@@ -36,6 +40,59 @@ std::vector<BenchMeasurement> run_benchmarks(
   return out;
 }
 
+template <class T>
+BatchBenchResult run_engine_batch(
+    runtime::Engine<T>& engine,
+    const std::vector<std::pair<Csr<T>, Csr<T>>>& pairs, const Config& cfg,
+    const std::string& label) {
+  const auto arena_before = engine.arena_counters();
+
+  BatchBenchResult r;
+  r.label = label;
+  r.jobs = pairs.size();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = engine.multiply_batch(pairs, cfg);
+  r.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.jobs_per_s = r.wall_s > 0.0 ? static_cast<double>(r.jobs) / r.wall_s : 0.0;
+
+  std::size_t hits = 0;
+  for (const auto& jr : results) {
+    r.sim_time_s += jr.stats.sim_time_s;
+    r.restarts += static_cast<std::size_t>(std::max(0, jr.stats.restarts));
+    r.pool_reused_bytes += jr.pool_reused_bytes;
+    if (jr.plan_hit) ++hits;
+  }
+  r.plan_hit_rate =
+      r.jobs == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(r.jobs);
+  r.pool_fresh_bytes =
+      engine.arena_counters().fresh_bytes - arena_before.fresh_bytes;
+  return r;
+}
+
+template <class T>
+BatchBenchResult run_naive_batch(
+    const std::vector<std::pair<Csr<T>, Csr<T>>>& pairs, const Config& cfg,
+    const std::string& label) {
+  BatchBenchResult r;
+  r.label = label;
+  r.jobs = pairs.size();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& [a, b] : pairs) {
+    SpgemmStats stats;
+    const Csr<T> c = multiply(a, b, cfg, &stats);
+    r.sim_time_s += stats.sim_time_s;
+    r.restarts += static_cast<std::size_t>(std::max(0, stats.restarts));
+    r.pool_fresh_bytes += stats.pool_bytes;  // every pool is a fresh allocation
+  }
+  r.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.jobs_per_s = r.wall_s > 0.0 ? static_cast<double>(r.jobs) / r.wall_s : 0.0;
+  return r;
+}
+
 double harmonic_mean(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   double denom = 0.0;
@@ -43,6 +100,20 @@ double harmonic_mean(const std::vector<double>& v) {
   return static_cast<double>(v.size()) / denom;
 }
 
+template BatchBenchResult run_engine_batch(
+    runtime::Engine<float>&,
+    const std::vector<std::pair<Csr<float>, Csr<float>>>&, const Config&,
+    const std::string&);
+template BatchBenchResult run_engine_batch(
+    runtime::Engine<double>&,
+    const std::vector<std::pair<Csr<double>, Csr<double>>>&, const Config&,
+    const std::string&);
+template BatchBenchResult run_naive_batch(
+    const std::vector<std::pair<Csr<float>, Csr<float>>>&, const Config&,
+    const std::string&);
+template BatchBenchResult run_naive_batch(
+    const std::vector<std::pair<Csr<double>, Csr<double>>>&, const Config&,
+    const std::string&);
 template BenchMeasurement run_benchmark(const SuiteEntry&,
                                         const SpgemmAlgorithm<float>&);
 template BenchMeasurement run_benchmark(const SuiteEntry&,

@@ -6,9 +6,11 @@
 /// algorithm, and returns the measurements all tables are built from.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/algorithm.hpp"
+#include "runtime/engine.hpp"
 #include "suite/suite.hpp"
 
 namespace acs {
@@ -40,6 +42,52 @@ std::vector<BenchMeasurement> run_benchmarks(
 /// Harmonic mean (the paper's Table 1 aggregation of per-matrix speedups).
 double harmonic_mean(const std::vector<double>& v);
 
+/// Wall-clock throughput measurement of a batch of multiplications — the
+/// unit the runtime Engine benchmarks are built from. Wall time is host
+/// time (the quantity batching actually improves), sim_time_s sums the
+/// per-job simulated times.
+struct BatchBenchResult {
+  std::string label;
+  std::size_t jobs = 0;
+  double wall_s = 0.0;
+  double jobs_per_s = 0.0;
+  double sim_time_s = 0.0;            ///< summed over jobs
+  std::size_t restarts = 0;           ///< summed over jobs
+  double plan_hit_rate = 0.0;         ///< engine batches only
+  std::size_t pool_reused_bytes = 0;  ///< engine batches only
+  std::size_t pool_fresh_bytes = 0;   ///< engine batches only
+};
+
+/// Run every (A,B) pair through the engine and measure throughput. Plan
+/// cache and pool arena state carry over between calls, so calling this
+/// twice with the same pairs measures cold and warm behaviour.
+template <class T>
+BatchBenchResult run_engine_batch(
+    runtime::Engine<T>& engine,
+    const std::vector<std::pair<Csr<T>, Csr<T>>>& pairs, const Config& cfg,
+    const std::string& label);
+
+/// Baseline: the same pairs through a sequential `acs::multiply` loop, each
+/// call doing its own setup and pool allocation.
+template <class T>
+BatchBenchResult run_naive_batch(
+    const std::vector<std::pair<Csr<T>, Csr<T>>>& pairs, const Config& cfg,
+    const std::string& label);
+
+extern template BatchBenchResult run_engine_batch(
+    runtime::Engine<float>&,
+    const std::vector<std::pair<Csr<float>, Csr<float>>>&, const Config&,
+    const std::string&);
+extern template BatchBenchResult run_engine_batch(
+    runtime::Engine<double>&,
+    const std::vector<std::pair<Csr<double>, Csr<double>>>&, const Config&,
+    const std::string&);
+extern template BatchBenchResult run_naive_batch(
+    const std::vector<std::pair<Csr<float>, Csr<float>>>&, const Config&,
+    const std::string&);
+extern template BatchBenchResult run_naive_batch(
+    const std::vector<std::pair<Csr<double>, Csr<double>>>&, const Config&,
+    const std::string&);
 extern template BenchMeasurement run_benchmark(const SuiteEntry&,
                                                const SpgemmAlgorithm<float>&);
 extern template BenchMeasurement run_benchmark(const SuiteEntry&,

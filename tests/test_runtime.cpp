@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/acspgemm.hpp"
+#include "matrix/generators.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/pool_arena.hpp"
+
+namespace acs::runtime {
+namespace {
+
+/// Deliberately under-provisioned pool: the estimate comes out far below
+/// the real requirement, so cold runs restart and warm runs demonstrate
+/// the plan's learned sizing.
+Config tight_pool_config() {
+  Config cfg;
+  cfg.pool_lower_bound_bytes = 8 << 10;
+  cfg.pool_estimate_factor = 0.02;
+  return cfg;
+}
+
+Fingerprint key_of(std::uint64_t x) {
+  Fingerprint f;
+  f.row_ptr_hash = x;
+  return f;
+}
+
+// --- Fingerprint ----------------------------------------------------------
+
+TEST(Fingerprint, IgnoresValuesTracksStructure) {
+  const auto a = gen_uniform_random<double>(200, 200, 6.0, 2.0, 7);
+  auto scaled = a;
+  for (auto& v : scaled.values) v *= 3.0;
+  EXPECT_EQ(fingerprint(a, a), fingerprint(scaled, scaled));
+
+  const auto other = gen_uniform_random<double>(200, 200, 6.0, 2.0, 8);
+  EXPECT_FALSE(fingerprint(a, a) == fingerprint(other, other));
+}
+
+TEST(Fingerprint, DistinguishesBOperandShape) {
+  const auto a = gen_uniform_random<double>(100, 100, 4.0, 1.0, 9);
+  const auto b1 = gen_uniform_random<double>(100, 80, 4.0, 1.0, 10);
+  const auto b2 = gen_uniform_random<double>(100, 120, 4.0, 1.0, 10);
+  EXPECT_FALSE(fingerprint(a, b1) == fingerprint(a, b2));
+}
+
+// --- PlanCache ------------------------------------------------------------
+
+TEST(PlanCache, HitMissAndLruEviction) {
+  PlanCache cache(2);
+  SpgemmPlan p;
+  EXPECT_FALSE(cache.lookup(key_of(1), p));
+
+  SpgemmPlan stored;
+  stored.pool_bytes = 111;
+  cache.store(key_of(1), stored);
+  EXPECT_TRUE(cache.lookup(key_of(1), p));
+  EXPECT_EQ(p.pool_bytes, 111u);
+
+  cache.store(key_of(2), SpgemmPlan{});
+  EXPECT_TRUE(cache.lookup(key_of(1), p));  // make key 2 the LRU entry
+  cache.store(key_of(3), SpgemmPlan{});     // evicts key 2
+  EXPECT_FALSE(cache.lookup(key_of(2), p));
+  EXPECT_TRUE(cache.lookup(key_of(1), p));
+  EXPECT_TRUE(cache.lookup(key_of(3), p));
+
+  const auto c = cache.counters();
+  EXPECT_EQ(c.insertions, 3u);
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_EQ(c.hits, 4u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NEAR(c.hit_rate(), 4.0 / 6.0, 1e-12);
+}
+
+TEST(PlanCache, StoreRefreshesExistingEntry) {
+  PlanCache cache(4);
+  SpgemmPlan v1;
+  v1.pool_bytes = 100;
+  cache.store(key_of(5), v1);
+  SpgemmPlan v2;
+  v2.pool_bytes = 900;
+  cache.store(key_of(5), v2);
+
+  SpgemmPlan out;
+  EXPECT_TRUE(cache.lookup(key_of(5), out));
+  EXPECT_EQ(out.pool_bytes, 900u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.counters().refreshes, 1u);
+}
+
+// --- PoolArena ------------------------------------------------------------
+
+TEST(PoolArena, RecyclesReleasedCapacity) {
+  PoolArena arena;
+  const auto l1 = arena.acquire(1000);
+  EXPECT_EQ(l1.bytes, 1000u);
+  EXPECT_EQ(l1.reused_bytes, 0u);
+
+  arena.release(1500);  // the job's pool grew by restarts
+  const auto l2 = arena.acquire(1200);
+  EXPECT_EQ(l2.bytes, 1500u);  // whole slab handed out
+  EXPECT_EQ(l2.reused_bytes, 1200u);
+
+  arena.release(1500);
+  const auto l3 = arena.acquire(4000);  // grows the largest slab
+  EXPECT_EQ(l3.bytes, 4000u);
+  EXPECT_EQ(l3.reused_bytes, 1500u);
+
+  const auto c = arena.counters();
+  EXPECT_EQ(c.high_water_bytes, 1500u);
+  EXPECT_EQ(c.reuse_hits, 2u);
+  EXPECT_EQ(c.fresh_bytes, 1000u + 2500u);
+  EXPECT_EQ(c.outstanding, 1u);  // three acquires, two releases
+}
+
+TEST(PoolArena, BestFitPrefersSmallestSufficientSlab) {
+  PoolArena arena;
+  arena.release(1 << 20);
+  arena.release(64 << 10);
+  const auto lease = arena.acquire(10 << 10);
+  EXPECT_EQ(lease.bytes, std::size_t{64} << 10);
+  EXPECT_EQ(arena.free_bytes(), std::size_t{1} << 20);
+}
+
+// --- multiply_planned (core plan-in/plan-out entry point) -----------------
+
+TEST(MultiplyPlanned, PlanRoundTripIsBitIdenticalAndSkipsGlb) {
+  const auto a = gen_uniform_random<float>(400, 400, 7.0, 2.0, 51);
+  const Config cfg;
+  SpgemmPlan plan;
+  SpgemmStats s1, s2;
+
+  const auto c1 = multiply_planned(a, a, cfg, plan, &s1);
+  EXPECT_FALSE(s1.glb_reused);
+  EXPECT_EQ(plan.runs, 1u);
+  EXPECT_FALSE(plan.block_row_starts.empty());
+  EXPECT_GT(plan.pool_bytes, 0u);
+
+  const auto c2 = multiply_planned(a, a, cfg, plan, &s2);
+  EXPECT_TRUE(s2.glb_reused);
+  EXPECT_EQ(s2.stage_time("GLB"), 0.0);
+  EXPECT_TRUE(c1.equals_exact(c2));
+  EXPECT_TRUE(c1.equals_exact(multiply(a, a, cfg)));
+}
+
+TEST(MultiplyPlanned, LearnedPoolSizeEliminatesRestarts) {
+  const auto a = gen_uniform_random<double>(500, 500, 8.0, 2.0, 21);
+  const Config cfg = tight_pool_config();
+  SpgemmPlan plan;
+  SpgemmStats cold, warm;
+
+  const auto c1 = multiply_planned(a, a, cfg, plan, &cold);
+  EXPECT_GT(cold.restarts, 0);
+  const auto c2 = multiply_planned(a, a, cfg, plan, &warm);
+  EXPECT_EQ(warm.restarts, 0);
+  EXPECT_TRUE(c1.equals_exact(c2));
+}
+
+TEST(MultiplyPlanned, MismatchedPlanIsRebuiltNotMisused) {
+  const auto a = gen_uniform_random<float>(300, 300, 6.0, 2.0, 52);
+  SpgemmPlan plan;
+  Config first;
+  first.nnz_per_block = 256;
+  multiply_planned(a, a, first, plan);
+
+  Config second = first;
+  second.nnz_per_block = 128;
+  SpgemmStats s;
+  const auto c = multiply_planned(a, a, second, plan, &s);
+  EXPECT_FALSE(s.glb_reused);
+  EXPECT_TRUE(c.equals_exact(multiply(a, a, second)));
+  EXPECT_EQ(plan.nnz_per_block, 128);
+}
+
+TEST(MultiplyPlanned, ExternalWarmSchedulerBitIdentical) {
+  const auto m = gen_powerlaw<double>(400, 400, 6.0, 1.6, 150, 71);
+  Config cfg;
+  cfg.scheduler_threads = 4;
+  sim::BlockScheduler scheduler(4);
+  SpgemmPlan p1, p2;
+  const auto c1 = multiply_planned(m, m, cfg, p1, nullptr, &scheduler);
+  const auto c2 = multiply_planned(m, m, cfg, p2, nullptr, &scheduler);
+  EXPECT_TRUE(c1.equals_exact(c2));
+  EXPECT_TRUE(c1.equals_exact(multiply(m, m, cfg)));
+}
+
+// --- Engine ---------------------------------------------------------------
+
+TEST(Engine, MatchesPlainMultiply) {
+  const auto a = gen_powerlaw<double>(400, 400, 6.0, 1.6, 150, 11);
+  const auto b = gen_uniform_random<double>(400, 400, 5.0, 2.0, 12);
+  Engine<double> engine;
+  auto handle = engine.submit(a, b);
+  EXPECT_TRUE(handle.result().c.equals_exact(multiply(a, b)));
+}
+
+TEST(Engine, WarmPlanSkipsSetupAndEliminatesRestarts) {
+  const auto a = gen_uniform_random<double>(500, 500, 8.0, 2.0, 21);
+  const Config cfg = tight_pool_config();
+  Engine<double> engine;
+
+  auto h1 = engine.submit(a, a, cfg);
+  auto& cold = h1.result();
+  EXPECT_FALSE(cold.plan_hit);
+  EXPECT_FALSE(cold.stats.glb_reused);
+  EXPECT_GT(cold.stats.restarts, 0);
+
+  auto h2 = engine.submit(a, a, cfg);
+  auto& warm = h2.result();
+  EXPECT_TRUE(warm.plan_hit);
+  EXPECT_TRUE(warm.stats.glb_reused);
+  EXPECT_EQ(warm.stats.restarts, 0);
+  EXPECT_GT(warm.pool_reused_bytes, 0u);  // pool recycled across jobs
+  EXPECT_TRUE(cold.c.equals_exact(warm.c));
+
+  EXPECT_EQ(engine.plan_counters().hits, 1u);
+  EXPECT_EQ(engine.plan_counters().misses, 1u);
+  EXPECT_EQ(engine.arena_counters().reuse_hits, 1u);
+}
+
+std::vector<Csr<double>> run_mixed_batch(unsigned workers) {
+  const auto a = gen_powerlaw<double>(300, 300, 5.0, 1.5, 100, 31);
+  const auto b = gen_uniform_random<double>(300, 300, 4.0, 1.0, 32);
+  const auto s = gen_stencil_2d<double>(18, 18, 33);
+  std::vector<std::pair<Csr<double>, Csr<double>>> pairs;
+  for (int rep = 0; rep < 3; ++rep) {
+    pairs.emplace_back(a, a);
+    pairs.emplace_back(a, b);
+    pairs.emplace_back(s, s);
+  }
+  EngineConfig ec;
+  ec.workers = workers;
+  Engine<double> engine(ec);
+  auto results = engine.multiply_batch(pairs, tight_pool_config());
+  std::vector<Csr<double>> out;
+  out.reserve(results.size());
+  for (auto& r : results) out.push_back(std::move(r.c));
+  return out;
+}
+
+TEST(Engine, BatchOutputsBitIdenticalForOneVsManyWorkers) {
+  // The per-job determinism contract under concurrency: the same batch must
+  // produce bit-identical per-job outputs whether jobs run sequentially or
+  // on many workers — even though the plan-cache/arena state each job sees
+  // (and hence its restart pattern) differs between the two runs.
+  const auto seq = run_mixed_batch(1);
+  const auto par = run_mixed_batch(4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    EXPECT_TRUE(seq[i].equals_exact(par[i])) << "job " << i;
+}
+
+TEST(Engine, FailedJobRethrowsAndEngineKeepsWorking) {
+  Engine<double> engine;
+  const auto a = gen_uniform_random<double>(50, 60, 3.0, 1.0, 61);
+  const auto b = gen_uniform_random<double>(50, 60, 3.0, 1.0, 62);
+  auto bad = engine.submit(a, b);  // 60 columns vs 50 rows
+  EXPECT_THROW(static_cast<void>(bad.result()), std::invalid_argument);
+
+  const auto good = gen_uniform_random<double>(50, 50, 3.0, 1.0, 63);
+  auto ok = engine.submit(good, good);
+  EXPECT_TRUE(ok.result().c.equals_exact(multiply(good, good)));
+  EXPECT_EQ(engine.stats().jobs_failed, 1u);
+  EXPECT_EQ(engine.stats().jobs_completed, 2u);
+}
+
+TEST(Engine, CacheAndArenaCanBeDisabled) {
+  const auto a = gen_uniform_random<double>(200, 200, 5.0, 1.0, 81);
+  EngineConfig ec;
+  ec.use_plan_cache = false;
+  ec.use_pool_arena = false;
+  Engine<double> engine(ec);
+  auto h1 = engine.submit(a, a);
+  auto h2 = engine.submit(a, a);
+  EXPECT_TRUE(h1.result().c.equals_exact(h2.result().c));
+  EXPECT_FALSE(h2.result().plan_hit);
+  EXPECT_EQ(engine.plan_counters().hits + engine.plan_counters().misses, 0u);
+  EXPECT_EQ(engine.arena_counters().acquires, 0u);
+}
+
+}  // namespace
+}  // namespace acs::runtime
