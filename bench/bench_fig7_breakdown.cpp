@@ -5,42 +5,91 @@
 /// copy (CC) — per showcase matrix. Paper shape: ESC dominates under ideal
 /// conditions; merge grows for matrices with long rows / many shared rows;
 /// GLB is negligible everywhere.
+///
+/// The breakdown is built from the observability layer's real stage spans
+/// (src/trace/): every matrix runs under one root span and the fractions
+/// are the simulated time attributed to its stage spans. The same numbers
+/// are cross-checked against `SpgemmStats::stage_time` — the bench fails if
+/// they disagree by more than 5% of the total (they are the same attribution
+/// recorded twice, so in practice they match exactly).
+///
+/// Run:  ./bench_fig7_breakdown [--trace-json out.json]
+///   --trace-json writes the whole figure as Chrome trace_event JSON; load
+///   it in Perfetto (https://ui.perfetto.dev) or chrome://tracing. Spans sit
+///   on the simulated timeline, so the viewer's per-stage totals equal the
+///   printed breakdown.
 
+#include <cmath>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <string_view>
 
 #include "core/acspgemm.hpp"
 #include "matrix/transpose.hpp"
 #include "suite/suite.hpp"
 #include "suite/table.hpp"
+#include "trace/exporters.hpp"
+#include "trace/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acs;
-  const char* stages[] = {"GLB", "ESC", "MCC", "MM", "PM", "SM", "CC"};
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--trace-json" && i + 1 < argc)
+      trace_path = argv[++i];
+  }
 
   std::cout << "Figure 7: relative runtime of AC-SpGEMM's stages (fraction "
                "of total simulated time)\n\n";
 
   std::vector<std::string> header{"matrix"};
-  for (const char* s : stages) header.push_back(s);
+  for (const char* s : trace::kStageNames) header.push_back(s);
   TextTable table(header);
   CsvWriter csv("fig7_breakdown.csv");
   csv.write_row(header);
 
+  // One session for the whole figure: each matrix runs under a root span
+  // named after it, the pipeline's stage spans nest underneath.
+  trace::TraceSession session;
+  Config cfg;
+  cfg.trace = &session;
+
+  double worst_dev = 0.0;  // spans vs SpgemmStats, fraction of total
   for (const auto& entry : showcase_suite()) {
     const auto a = build_matrix<double>(entry);
     const auto b = entry.square ? a : transpose(a);
     SpgemmStats stats;
-    multiply(a, b, Config{}, &stats);
+    const trace::SpanId root = session.begin_span(entry.name);
+    multiply(a, b, cfg, &stats);
+    session.end_span(root);
 
+    const auto stage_sim = trace::sim_stage_totals(session.spans(), root);
     double total = 0.0;
-    for (const char* s : stages) total += stats.stage_time(s);
+    for (double t : stage_sim) total += t;
+
     std::vector<std::string> row{entry.name};
-    for (const char* s : stages)
-      row.push_back(TextTable::num(stats.stage_time(s) / total, 3));
+    for (std::size_t i = 0; i < trace::kNumStages; ++i) {
+      row.push_back(TextTable::num(total > 0.0 ? stage_sim[i] / total : 0.0, 3));
+      const double dev = std::abs(stage_sim[i] - stats.stage_time(trace::kStageNames[i]));
+      if (total > 0.0) worst_dev = std::max(worst_dev, dev / total);
+    }
     table.add_row(row);
     csv.write_row(row);
   }
   std::cout << table.str();
   std::cout << "\nwrote fig7_breakdown.csv\n";
-  return 0;
+
+  if (!trace_path.empty()) {
+    std::ofstream(trace_path) << trace::to_chrome_json(session);
+    std::cout << "wrote " << trace_path
+              << " (Chrome trace_event JSON, simulated timeline — open in "
+                 "Perfetto)\n";
+  }
+
+  std::cerr << "trace-span vs stats stage attribution: worst deviation "
+            << worst_dev * 100.0 << "% of total"
+            << (worst_dev <= 0.05 ? "  [ok]" : "  [MISMATCH]") << "\n";
+  return worst_dev <= 0.05 ? 0 : 1;
 }

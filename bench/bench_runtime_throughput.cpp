@@ -12,9 +12,16 @@
 /// The pool is deliberately under-provisioned (tight estimate) so the cold
 /// runs pay the paper's restart protocol and the warm runs demonstrate the
 /// feedback loop. Emits JSON (stdout + bench_runtime_throughput.json) with
-/// jobs/s, plan-cache hit rate, pool reuse bytes and restart counts.
+/// jobs/s, plan-cache hit rate, pool reuse bytes, restart counts and the
+/// per-stage simulated-time breakdown aggregated over each batch's jobs
+/// (src/trace metrics snapshots).
 ///
 /// Run:  ./bench_runtime_throughput [jobs_per_batch] [engine_workers]
+///                                  [--trace-json out.json]
+///   --trace-json re-runs a few repeated-pattern jobs on an engine with
+///   collect_job_traces on and writes the first job's span tree as Chrome
+///   trace_event JSON. The throughput gate below always measures the
+///   untraced engine — tracing must stay off the benchmarked path.
 
 #include <algorithm>
 #include <cstdlib>
@@ -28,6 +35,7 @@
 #include "matrix/coo.hpp"
 #include "matrix/generators.hpp"
 #include "suite/bench_runner.hpp"
+#include "trace/exporters.hpp"
 
 namespace {
 
@@ -93,8 +101,12 @@ void emit(std::ostream& os, const acs::BatchBenchResult& r, bool last) {
      << ", \"restarts\": " << r.restarts
      << ", \"plan_hit_rate\": " << r.plan_hit_rate
      << ", \"pool_reused_bytes\": " << r.pool_reused_bytes
-     << ", \"pool_fresh_bytes\": " << r.pool_fresh_bytes << "}"
-     << (last ? "\n" : ",\n");
+     << ", \"pool_fresh_bytes\": " << r.pool_fresh_bytes
+     << ", \"stage_sim_s\": {";
+  for (std::size_t i = 0; i < acs::trace::kNumStages; ++i)
+    os << (i ? ", " : "") << "\"" << acs::trace::kStageNames[i]
+       << "\": " << r.metrics.stage_sim_time_s[i];
+  os << "}}" << (last ? "\n" : ",\n");
 }
 
 struct BatchReport {
@@ -131,10 +143,20 @@ void emit_workload(std::ostream& os, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t jobs = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 32;
+  std::string trace_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace-json" && i + 1 < argc)
+      trace_path = argv[++i];
+    else
+      positional.push_back(argv[i]);
+  }
+  const std::size_t jobs =
+      positional.size() > 0 ? static_cast<std::size_t>(std::atoll(positional[0])) : 32;
   const unsigned workers =
-      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2]))
-               : std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+      positional.size() > 1
+          ? static_cast<unsigned>(std::atoi(positional[1]))
+          : std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
 
   const BatchReport repeated = run_workload(repeated_pattern_batch(jobs), workers);
   const BatchReport mixed = run_workload(mixed_pattern_batch(jobs), workers);
@@ -148,6 +170,22 @@ int main(int argc, char** argv) {
 
   std::cout << json.str();
   std::ofstream("bench_runtime_throughput.json") << json.str();
+
+  if (!trace_path.empty()) {
+    // Separate traced run — never the one the gate below measures.
+    acs::runtime::EngineConfig ec;
+    ec.workers = workers;
+    ec.collect_job_traces = true;
+    acs::runtime::Engine<double> traced(ec);
+    const auto results =
+        traced.multiply_batch(repeated_pattern_batch(4), bench_config());
+    if (!results.empty() && results.front().trace) {
+      std::ofstream(trace_path)
+          << acs::trace::to_chrome_json(*results.front().trace);
+      std::cerr << "wrote " << trace_path << " (first traced job, Chrome "
+                << "trace_event JSON — open in Perfetto)\n";
+    }
+  }
 
   // The PR's acceptance criterion, checked where the numbers are produced:
   // warm engine >= 1.5x naive jobs/s with zero restarts after warm-up.

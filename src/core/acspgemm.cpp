@@ -12,9 +12,30 @@
 #include "sim/cost_model.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/scratchpad.hpp"
+#include "trace/trace.hpp"
 
 namespace acs {
 namespace {
+
+/// Point the scheduler's block attribution at the run's trace session for
+/// the duration of one multiplication, restoring the previous sink on exit
+/// (the engine's warm schedulers outlive many jobs).
+class SchedulerTraceGuard {
+ public:
+  SchedulerTraceGuard(sim::BlockScheduler& scheduler,
+                      trace::TraceSession* session)
+      : scheduler_(scheduler), previous_(scheduler.trace()) {
+    scheduler_.set_trace(session);
+  }
+  ~SchedulerTraceGuard() { scheduler_.set_trace(previous_); }
+
+  SchedulerTraceGuard(const SchedulerTraceGuard&) = delete;
+  SchedulerTraceGuard& operator=(const SchedulerTraceGuard&) = delete;
+
+ private:
+  sim::BlockScheduler& scheduler_;
+  trace::TraceSession* previous_;
+};
 
 /// Split an aggregate metric set into `count` identical per-block shares —
 /// used for uniform utility kernels (load balancing, scans, chunk copy).
@@ -46,6 +67,7 @@ class Pipeline {
         cfg_(cfg),
         stats_(stats),
         plan_(plan),
+        trace_(cfg.trace),
         own_scheduler_(scheduler ? 1 : cfg.scheduler_threads),
         scheduler_(scheduler ? *scheduler : own_scheduler_),
         initial_pool_(plan.pool_bytes ? plan.pool_bytes
@@ -55,6 +77,8 @@ class Pipeline {
   }
 
   Csr<T> run() {
+    SchedulerTraceGuard trace_guard(scheduler_, trace_);
+    ACS_TRACE_SCOPE(trace_, "multiply");
     stats_.intermediate_products = intermediate_products(a_, b_);
     global_load_balance();
     esc_stage();
@@ -97,9 +121,10 @@ class Pipeline {
 
   /// Record one simulated kernel: schedule its blocks, account the stage
   /// time, aggregate metrics, and track the lowest multiprocessor load over
-  /// device-filling kernels.
-  void record_stage(const char* name,
-                    const std::vector<sim::MetricCounters>& blocks) {
+  /// device-filling kernels. Returns the kernel's simulated time so callers
+  /// can attribute it to their trace span.
+  double record_stage(const char* name,
+                      const std::vector<sim::MetricCounters>& blocks) {
     const sim::KernelTiming t = sim::schedule_blocks(blocks, cfg_.device);
     stats_.stage_times_s.emplace_back(name, t.time_s);
     stats_.sim_time_s += t.time_s;
@@ -112,10 +137,12 @@ class Pipeline {
     if (blocks.size() >= resident)
       stats_.multiprocessor_load =
           std::min(stats_.multiprocessor_load, t.multiprocessor_load);
+    return t.time_s;
   }
 
   // --- Stage 1: global load balancing (Algorithm 1). -----------------------
   void global_load_balance() {
+    ACS_TRACE_SPAN(span, trace_, "GLB");
     if (plan_.has_load_balance(cfg_, a_.nnz())) {
       // blockRowStarts depends only on A's row pointer; reusing the plan's
       // table skips the kernel entirely (no launch, no simulated time).
@@ -142,12 +169,12 @@ class Pipeline {
     m.global_bytes_coalesced =
         (static_cast<std::uint64_t>(a_.rows) + num_blocks_) * sizeof(index_t);
     m.scan_elements = static_cast<std::uint64_t>(a_.rows);
-    record_stage("GLB",
-                 uniform_blocks(divup<std::size_t>(
-                                    std::max<std::size_t>(
-                                        static_cast<std::size_t>(a_.rows), 1),
-                                    static_cast<std::size_t>(cfg_.threads)),
-                                m));
+    span.add_sim_time(record_stage(
+        "GLB", uniform_blocks(divup<std::size_t>(
+                                  std::max<std::size_t>(
+                                      static_cast<std::size_t>(a_.rows), 1),
+                                  static_cast<std::size_t>(cfg_.threads)),
+                              m)));
   }
 
   // --- Stage 2: adaptive chunk-based ESC with restarts. --------------------
@@ -157,6 +184,9 @@ class Pipeline {
     for (std::size_t i = 0; i < num_blocks_; ++i) pending[i] = i;
 
     while (!pending.empty()) {
+      // One span per kernel launch; restart relaunches show up as further
+      // "ESC" spans whose sim times aggregate into the same stage total.
+      ACS_TRACE_SPAN(span, trace_, "ESC");
       std::vector<EscBlockResult<T>> results(pending.size());
       scheduler_.for_each_block(pending.size(), [&](std::size_t i) {
         results[i] = run_esc_block<T>(a_, b_, block_row_starts_, pending[i],
@@ -169,16 +199,21 @@ class Pipeline {
       for (std::size_t i = 0; i < results.size(); ++i) {
         launch_metrics.push_back(results[i].metrics);
         stats_.esc_iterations += static_cast<std::size_t>(results[i].iterations);
+        ACS_TRACE_HOOK(trace_, acs_trace.counters().record_esc_block(
+                                   static_cast<std::uint64_t>(
+                                       results[i].iterations)));
         for (auto& chunk : results[i].chunks) {
           if (chunk.is_long_row) ++stats_.long_row_chunks;
           chunks_.push_back(std::move(chunk));
         }
         if (results[i].needs_restart) failed.push_back(pending[i]);
       }
-      record_stage("ESC", launch_metrics);
+      ACS_TRACE_COUNT(trace_, pool_denials, failed.size());
+      span.add_sim_time(record_stage("ESC", launch_metrics));
 
       if (!failed.empty()) {
         ++stats_.restarts;
+        ACS_TRACE_COUNT(trace_, restarts, 1);
         pool_.grow(std::max<std::size_t>(initial_pool_, std::size_t{64} << 10));
       }
       pending = std::move(failed);
@@ -222,16 +257,20 @@ class Pipeline {
     // Merge-case assignment (Fig. 7's "MCC"): one prefix scan over the
     // shared rows using the summed row counts. No launch when no row needs
     // merging.
-    if (shared_rows.empty()) {
-      stats_.stage_times_s.emplace_back("MCC", 0.0);
-    } else {
-      sim::MetricCounters m;
-      m.scan_elements = shared_rows.size();
-      m.global_bytes_coalesced = shared_rows.size() * 2 * sizeof(index_t);
-      record_stage("MCC",
-                   uniform_blocks(divup<std::size_t>(shared_rows.size(),
-                                      static_cast<std::size_t>(cfg_.threads)),
-                                  m));
+    {
+      ACS_TRACE_SPAN(span, trace_, "MCC");
+      if (shared_rows.empty()) {
+        stats_.stage_times_s.emplace_back("MCC", 0.0);
+      } else {
+        sim::MetricCounters m;
+        m.scan_elements = shared_rows.size();
+        m.global_bytes_coalesced = shared_rows.size() * 2 * sizeof(index_t);
+        span.add_sim_time(record_stage(
+            "MCC", uniform_blocks(
+                       divup<std::size_t>(shared_rows.size(),
+                                          static_cast<std::size_t>(cfg_.threads)),
+                       m)));
+      }
     }
 
     const auto capacity = static_cast<offset_t>(cfg_.temp_capacity());
@@ -262,6 +301,16 @@ class Pipeline {
     }
     flush_multi();
 
+    ACS_TRACE_HOOK(trace_, {
+      auto& rows = acs_trace.counters().merge_case_rows;
+      std::uint64_t multi_rows = 0;
+      for (const MergeBatch& batch : multi) multi_rows += batch.rows.size();
+      rows[trace::kMultiMerge].fetch_add(multi_rows, std::memory_order_relaxed);
+      rows[trace::kPathMerge].fetch_add(path.size(), std::memory_order_relaxed);
+      rows[trace::kSearchMerge].fetch_add(search.size(),
+                                          std::memory_order_relaxed);
+    });
+
     run_merge_kind("MM", MergeKind::Multi, multi);
     run_merge_kind("PM", MergeKind::Path, path);
     run_merge_kind("SM", MergeKind::Search, search);
@@ -270,10 +319,12 @@ class Pipeline {
   void run_merge_kind(const char* stage, MergeKind kind,
                       const std::vector<MergeBatch>& batches) {
     if (batches.empty()) {
-      // No kernel launch when there is nothing to merge.
+      // No kernel launch when there is nothing to merge (and no span: an
+      // empty stage would only pad the trace).
       stats_.stage_times_s.emplace_back(stage, 0.0);
       return;
     }
+    ACS_TRACE_SPAN(stage_span, trace_, stage);
     std::vector<std::size_t> windows_done(batches.size(), 0);
     std::vector<bool> done(batches.size(), false);
     std::vector<std::size_t> pending(batches.size());
@@ -323,10 +374,12 @@ class Pipeline {
         if (!results[i].needs_restart) done[t] = true;
         else failed.push_back(t);
       }
-      record_stage(stage, launch_metrics);
+      ACS_TRACE_COUNT(trace_, pool_denials, failed.size());
+      stage_span.add_sim_time(record_stage(stage, launch_metrics));
 
       if (!failed.empty()) {
         ++stats_.restarts;
+        ACS_TRACE_COUNT(trace_, restarts, 1);
         pool_.grow(std::max<std::size_t>(initial_pool_, std::size_t{64} << 10));
       }
       pending = std::move(failed);
@@ -335,6 +388,7 @@ class Pipeline {
 
   // --- Stage 4: output matrix allocation and chunk copy. -------------------
   Csr<T> chunk_copy() {
+    ACS_TRACE_SPAN(span, trace_, "CC");
     Csr<T> c;
     c.rows = a_.rows;
     c.cols = b_.cols;
@@ -392,7 +446,8 @@ class Pipeline {
     }
     const auto live_chunks = static_cast<std::size_t>(
         std::count(chunk_live.begin(), chunk_live.end(), true));
-    record_stage("CC", uniform_blocks(std::max<std::size_t>(live_chunks, 1), m));
+    span.add_sim_time(
+        record_stage("CC", uniform_blocks(std::max<std::size_t>(live_chunks, 1), m)));
     return c;
   }
 
@@ -400,6 +455,8 @@ class Pipeline {
     stats_.pool_bytes = pool_.capacity();
     stats_.pool_used_bytes = pool_.used();
     stats_.chunks_created = chunks_.size();
+    ACS_TRACE_GAUGE_MAX(trace_, pool_capacity_bytes, pool_.capacity());
+    ACS_TRACE_GAUGE_MAX(trace_, pool_used_bytes, pool_.used());
     // Refresh the plan: the load-balancing table (unless it came from the
     // plan already) and the final pool capacity. The capacity includes any
     // restart growth, so replaying the plan on the same pattern needs no
@@ -424,6 +481,7 @@ class Pipeline {
   const Config& cfg_;
   SpgemmStats& stats_;
   SpgemmPlan& plan_;
+  trace::TraceSession* trace_;
   sim::BlockScheduler own_scheduler_;
   sim::BlockScheduler& scheduler_;
   std::size_t initial_pool_;

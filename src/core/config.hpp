@@ -10,6 +10,10 @@
 #include "matrix/types.hpp"
 #include "sim/device_config.hpp"
 
+namespace acs::trace {
+class TraceSession;
+}
+
 namespace acs {
 
 struct Config {
@@ -49,6 +53,12 @@ struct Config {
   /// Check the CSR invariants of both operands before multiplying (costs a
   /// full pass; off by default like the GPU original).
   bool validate_inputs = false;
+  /// Observability sink (non-owning; must outlive the multiplication). When
+  /// set, the pipeline records stage spans and counters into the session;
+  /// null (default) disables tracing — the hooks then cost one pointer test
+  /// and results/stats are byte-for-byte unaffected (test_trace.cpp proves
+  /// it). The session may be shared by concurrent multiplications.
+  trace::TraceSession* trace = nullptr;
   /// Simulated device.
   sim::DeviceConfig device{};
 

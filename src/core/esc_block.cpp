@@ -7,6 +7,7 @@
 #include "core/sort_key.hpp"
 #include "core/work_distribution.hpp"
 #include "sim/block_primitives.hpp"
+#include "trace/trace.hpp"
 
 namespace acs {
 namespace {
@@ -132,6 +133,9 @@ EscBlockResult<T> run_esc_block(const Csr<T>& a, const Csr<T>& b,
       return res;
     }
     charge_chunk_write(m, chunk.byte_size(), 1);
+    ACS_TRACE_COUNT(cfg.trace, pool_alloc_bytes, chunk.byte_size());
+    ACS_TRACE_COUNT(cfg.trace, chunks_written, 1);
+    ACS_TRACE_COUNT(cfg.trace, long_row_chunks, 1);
     res.chunks.push_back(std::move(chunk));
     ++state.chunk_counter;
     state.long_rows_done = j + 1;
@@ -155,7 +159,13 @@ EscBlockResult<T> run_esc_block(const Csr<T>& a, const Csr<T>& b,
   std::vector<std::uint64_t> keys;
   std::vector<T> vals;
 
+  // Block-level spans only in detail mode (a span per local ESC iteration
+  // is far too hot for always-on tracing; see DESIGN.md §7).
+  trace::TraceSession* detail_trace =
+      cfg.trace && cfg.trace->detail() ? cfg.trace : nullptr;
+
   while (wd.size() > 0) {
+    ACS_TRACE_SCOPE(detail_trace, "esc.iteration");
     ++res.iterations;
     const auto carried = static_cast<index_t>(car_col.size());
     const offset_t consume =
@@ -263,6 +273,8 @@ EscBlockResult<T> run_esc_block(const Csr<T>& a, const Csr<T>& b,
         return res;  // committed unchanged: replay redoes this iteration
       }
       charge_chunk_write(m, chunk.byte_size(), write_rows);
+      ACS_TRACE_COUNT(cfg.trace, pool_alloc_bytes, chunk.byte_size());
+      ACS_TRACE_COUNT(cfg.trace, chunks_written, 1);
       // Staging round trip through scratchpad for coalesced writes.
       m.scratch_ops += 2 * chunk.cols.size();
       res.chunks.push_back(std::move(chunk));

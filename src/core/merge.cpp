@@ -7,6 +7,7 @@
 #include "core/compaction.hpp"
 #include "core/sort_key.hpp"
 #include "sim/block_primitives.hpp"
+#include "trace/trace.hpp"
 
 namespace acs {
 namespace {
@@ -163,11 +164,16 @@ MergeOutcome<T> run_merge_block(const MergeBatch& batch,
   }
   windows.emplace_back(wbegin, n);
 
+  // Block-level window spans only in detail mode (see DESIGN.md §7).
+  trace::TraceSession* detail_trace =
+      cfg.trace && cfg.trace->detail() ? cfg.trace : nullptr;
+
   // Multi Merge is one-shot by construction (the batch was packed to fit);
   // Path/Search merge iterate windows, each with its cut-discovery cost.
   for (std::size_t w = 0; w < windows.size(); ++w) {
     const auto [begin, end] = windows[w];
     if (w < windows_done_start) continue;  // already written before restart
+    ACS_TRACE_SCOPE(detail_trace, "merge.window");
     if (kind != MergeKind::Multi || w > 0)
       charge_cut_discovery(kind, batch, chunks, cfg, m);
 
@@ -207,6 +213,9 @@ MergeOutcome<T> run_merge_block(const MergeBatch& batch,
       return out;
     }
     charge_chunk_write(m, chunk.byte_size(), chunk.rows.size());
+    ACS_TRACE_COUNT(cfg.trace, pool_alloc_bytes, chunk.byte_size());
+    ACS_TRACE_COUNT(cfg.trace, chunks_written, 1);
+    ACS_TRACE_COUNT(cfg.trace, merge_windows, 1);
     m.scratch_ops += 2 * chunk.cols.size();
     out.chunks.push_back(std::move(chunk));
     out.windows_done = w + 1;

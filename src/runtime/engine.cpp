@@ -51,7 +51,12 @@ std::vector<JobResult<T>> Engine<T>::multiply_batch(
   for (const auto& [a, b] : pairs) handles.push_back(submit(a, b, cfg));
   std::vector<JobResult<T>> results;
   results.reserve(handles.size());
-  for (auto& h : handles) results.push_back(std::move(h.result()));
+  for (auto& h : handles) {
+    // Not h.result(): that rethrows, which would abandon the remaining
+    // handles' results. Failures travel on JobResult::error instead.
+    h.wait();
+    results.push_back(std::move(h.state_->result));
+  }
   return results;
 }
 
@@ -68,6 +73,12 @@ EngineStats Engine<T>::stats() const {
 }
 
 template <class T>
+trace::MetricsSnapshot Engine<T>::metrics() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return metrics_;
+}
+
+template <class T>
 void Engine<T>::work_loop() {
   WorkerContext ctx;
   for (;;) {
@@ -79,7 +90,24 @@ void Engine<T>::work_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    run_job(*job, ctx);
+    try {
+      run_job(*job, ctx);
+    } catch (...) {
+      // run_job failed outside its own handler (e.g. an allocation while
+      // publishing the result). Fail this job only — never the worker: an
+      // escaped exception here would leave in_flight_ stuck above zero and
+      // wedge wait_all() and the destructor. complete() is idempotent, so
+      // re-completing a job that already published is a no-op.
+      std::exception_ptr e = std::current_exception();
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        ++stats_.jobs_completed;
+        ++stats_.jobs_failed;
+      }
+      JobResult<T> failed;
+      failed.error = e;
+      job->complete(std::move(failed), e);
+    }
     {
       std::lock_guard<std::mutex> lock(m_);
       if (--in_flight_ == 0) idle_cv_.notify_all();
@@ -93,6 +121,14 @@ void Engine<T>::run_job(detail::JobState<T>& job, WorkerContext& ctx) {
   std::exception_ptr error;
   bool leased = false;
   typename PoolArena::Lease lease;
+  // One session per job so its counters are the job's alone; a session the
+  // caller installed on the Config is left in place (and stays theirs —
+  // per-job counters cannot be split out of a shared session).
+  std::shared_ptr<trace::TraceSession> session;
+  if (config_.collect_job_traces && job.cfg.trace == nullptr) {
+    session = std::make_shared<trace::TraceSession>();
+    job.cfg.trace = session.get();
+  }
   try {
     const Fingerprint key = fingerprint(job.a, job.b);
     SpgemmPlan plan;
@@ -118,6 +154,11 @@ void Engine<T>::run_job(detail::JobState<T>& job, WorkerContext& ctx) {
                                 ctx.scheduler.get());
     result.plan_hit = hit;
     result.pool_reused_bytes = lease.reused_bytes;
+    result.metrics = to_metrics_snapshot(result.stats);
+    if (session) {
+      result.metrics.counters = session->counters_snapshot();
+      result.trace = session;
+    }
 
     if (leased) {
       // The final capacity (including restart growth) becomes the slab.
@@ -128,6 +169,8 @@ void Engine<T>::run_job(detail::JobState<T>& job, WorkerContext& ctx) {
   } catch (...) {
     error = std::current_exception();
     if (leased) arena_.release(lease.bytes);
+    result = JobResult<T>{};  // drop any partially-filled output
+    result.error = error;
   }
 
   {
@@ -136,6 +179,7 @@ void Engine<T>::run_job(detail::JobState<T>& job, WorkerContext& ctx) {
     if (error) ++stats_.jobs_failed;
     stats_.restarts += static_cast<std::size_t>(
         std::max(0, result.stats.restarts));
+    if (!error) metrics_ += result.metrics;
   }
   job.complete(std::move(result), error);
 }

@@ -38,6 +38,8 @@
 #include "core/acspgemm.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/pool_arena.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace acs::runtime {
 
@@ -52,6 +54,12 @@ struct EngineConfig {
   bool use_plan_cache = true;
   /// Recycle chunk-pool capacity across jobs instead of per-call allocation.
   bool use_pool_arena = true;
+  /// Attach an engine-owned TraceSession to every job whose Config does not
+  /// already carry one. The session is returned on `JobResult::trace` (stage
+  /// spans + counters, exportable via trace/exporters.hpp). Off by default:
+  /// tracing is cheap but not free, and throughput benches gate on the
+  /// untraced path.
+  bool collect_job_traces = false;
 };
 
 /// Aggregate engine statistics (plan and pool details come from
@@ -69,6 +77,18 @@ struct JobResult {
   SpgemmStats stats;
   bool plan_hit = false;             ///< plan served from the cache
   std::size_t pool_reused_bytes = 0; ///< pool request covered by the arena
+  /// Per-job metrics snapshot (always filled on success; stage times come
+  /// from `stats`, the trace counter block from `trace` when attached).
+  trace::MetricsSnapshot metrics;
+  /// Engine-owned trace session when `EngineConfig::collect_job_traces` is
+  /// set and the job's Config had no session of its own; null otherwise.
+  std::shared_ptr<trace::TraceSession> trace;
+  /// Set when the job failed; `c`/`stats`/`metrics` are then default-valued.
+  /// `JobHandle::result()` rethrows it, `multiply_batch` returns it in-place
+  /// so one bad pair cannot abandon its siblings' results.
+  std::exception_ptr error;
+
+  [[nodiscard]] bool failed() const { return error != nullptr; }
 };
 
 namespace detail {
@@ -85,9 +105,13 @@ struct JobState {
   JobResult<T> result;
   std::exception_ptr error;
 
+  /// Publish the job's outcome. Idempotent: the first completion wins, so a
+  /// worker that fails while publishing can be completed again by its
+  /// work_loop safety net without clobbering an already-delivered result.
   void complete(JobResult<T> r, std::exception_ptr e) {
     {
       std::lock_guard<std::mutex> lock(m);
+      if (done) return;
       result = std::move(r);
       error = e;
       done = true;
@@ -152,7 +176,9 @@ class Engine {
   JobHandle<T> submit(Csr<T> a, Csr<T> b, Config cfg = {});
 
   /// Submit every pair and wait for all of them; results are returned in
-  /// submission order. Rethrows the first failing job's exception.
+  /// submission order. A failing job does not throw and does not disturb its
+  /// siblings: its entry carries the exception on `JobResult::error` (check
+  /// `failed()`) while every other entry holds its normal result.
   std::vector<JobResult<T>> multiply_batch(
       const std::vector<std::pair<Csr<T>, Csr<T>>>& pairs,
       const Config& cfg = {});
@@ -161,6 +187,10 @@ class Engine {
   void wait_all();
 
   [[nodiscard]] EngineStats stats() const;
+  /// Rolling metrics aggregated over every successfully completed job
+  /// (stage sim-time totals, restarts, pool high-water marks, trace
+  /// counters of jobs that ran with a session attached).
+  [[nodiscard]] trace::MetricsSnapshot metrics() const;
   [[nodiscard]] PlanCache::Counters plan_counters() const {
     return cache_.counters();
   }
@@ -193,6 +223,7 @@ class Engine {
   std::size_t in_flight_ = 0;  ///< queued + executing
   bool stop_ = false;
   EngineStats stats_;
+  trace::MetricsSnapshot metrics_;
 
   std::vector<std::thread> workers_;
 };

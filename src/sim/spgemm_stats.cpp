@@ -1,0 +1,24 @@
+#include "sim/spgemm_stats.hpp"
+
+namespace acs {
+
+trace::MetricsSnapshot to_metrics_snapshot(const SpgemmStats& s) {
+  trace::MetricsSnapshot m;
+  m.jobs = 1;
+  m.wall_time_s = s.wall_time_s;
+  m.sim_time_s = s.sim_time_s;
+  for (const auto& [name, t] : s.stage_times_s) {
+    const int i = trace::stage_index(name);
+    if (i >= 0) m.stage_sim_time_s[static_cast<std::size_t>(i)] += t;
+  }
+  m.restarts = static_cast<std::uint64_t>(s.restarts < 0 ? 0 : s.restarts);
+  m.esc_iterations = s.esc_iterations;
+  m.chunks_created = s.chunks_created;
+  m.long_row_chunks = s.long_row_chunks;
+  m.merged_rows = s.merged_rows;
+  m.pool_bytes = s.pool_bytes;
+  m.pool_used_bytes = s.pool_used_bytes;
+  return m;
+}
+
+}  // namespace acs

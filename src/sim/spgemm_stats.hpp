@@ -12,6 +12,7 @@
 
 #include "matrix/types.hpp"
 #include "sim/metrics.hpp"
+#include "trace/metrics.hpp"
 
 namespace acs {
 
@@ -65,5 +66,11 @@ struct SpgemmStats {
     return t;
   }
 };
+
+/// One run's stats as an aggregatable metrics snapshot (jobs = 1). The
+/// canonical stage times come straight from `stage_times_s`; the trace
+/// counter block stays zero — merge a live `trace::TraceSession`'s counters
+/// on top when tracing was enabled for the run.
+[[nodiscard]] trace::MetricsSnapshot to_metrics_snapshot(const SpgemmStats& s);
 
 }  // namespace acs

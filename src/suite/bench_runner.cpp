@@ -59,9 +59,11 @@ BatchBenchResult run_engine_batch(
 
   std::size_t hits = 0;
   for (const auto& jr : results) {
+    if (jr.failed()) continue;
     r.sim_time_s += jr.stats.sim_time_s;
     r.restarts += static_cast<std::size_t>(std::max(0, jr.stats.restarts));
     r.pool_reused_bytes += jr.pool_reused_bytes;
+    r.metrics += jr.metrics;
     if (jr.plan_hit) ++hits;
   }
   r.plan_hit_rate =
@@ -85,6 +87,7 @@ BatchBenchResult run_naive_batch(
     r.sim_time_s += stats.sim_time_s;
     r.restarts += static_cast<std::size_t>(std::max(0, stats.restarts));
     r.pool_fresh_bytes += stats.pool_bytes;  // every pool is a fresh allocation
+    r.metrics += to_metrics_snapshot(stats);
   }
   r.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -56,6 +56,9 @@ struct BatchBenchResult {
   double plan_hit_rate = 0.0;         ///< engine batches only
   std::size_t pool_reused_bytes = 0;  ///< engine batches only
   std::size_t pool_fresh_bytes = 0;   ///< engine batches only
+  /// Aggregated per-job metrics (stage sim-time breakdown, pool high-water
+  /// marks; trace counters when the engine ran with collect_job_traces).
+  trace::MetricsSnapshot metrics;
 };
 
 /// Run every (A,B) pair through the engine and measure throughput. Plan

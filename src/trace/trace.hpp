@@ -1,0 +1,274 @@
+#pragma once
+/// \file trace.hpp
+/// Stage-level observability for the SpGEMM pipeline: a low-overhead,
+/// thread-safe tracing and metrics layer. A `TraceSession` records a span
+/// tree (one span per pipeline stage / kernel launch, wall-clock start/end
+/// plus attributed simulated time) and a set of atomic `Counters` (chunk
+/// pool traffic, restarts, ESC iteration histogram, rows per merge case,
+/// scheduler block attribution). Producers hook in through the `ACS_TRACE_*`
+/// macros, which compile to a single null-pointer check when tracing is
+/// disabled at runtime and to nothing at all when `ACS_TRACE_DISABLED` is
+/// defined — the overhead policy DESIGN.md §7 commits to.
+///
+/// Sessions are safe to share between threads: spans keep per-thread parent
+/// stacks (a worker's spans nest under that worker's open spans, never under
+/// another thread's), counters are relaxed atomics, and snapshot accessors
+/// copy under the session mutex.
+///
+/// Example:
+/// \code
+///   acs::trace::TraceSession session;
+///   cfg.trace = &session;
+///   acs::multiply(a, b, cfg, &stats);
+///   std::cout << acs::trace::to_table(session);
+/// \endcode
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace acs::trace {
+
+using SpanId = std::uint32_t;
+inline constexpr SpanId kNoSpan = 0xffffffffu;
+
+/// ESC iteration histogram buckets: 1, 2, ..., kEscHistBuckets-1, and a
+/// final bucket for everything beyond.
+inline constexpr std::size_t kEscHistBuckets = 8;
+
+/// Merge-case indices for `Counters::merge_case_rows`.
+enum MergeCase : std::size_t { kMultiMerge = 0, kPathMerge = 1, kSearchMerge = 2 };
+
+/// Plain (non-atomic) copy of a session's counters; aggregatable.
+struct CountersSnapshot {
+  // Chunk pool.
+  std::uint64_t pool_alloc_bytes = 0;   ///< bytes successfully allocated
+  std::uint64_t pool_denials = 0;       ///< failed allocations (block-level)
+  std::uint64_t pool_capacity_bytes = 0;  ///< high-water pool capacity
+  std::uint64_t pool_used_bytes = 0;      ///< high-water pool usage
+  std::uint64_t restarts = 0;             ///< host restart rounds
+  // ESC.
+  std::uint64_t esc_blocks = 0;       ///< ESC block executions (incl. relaunches)
+  std::uint64_t esc_iterations = 0;   ///< local ESC iterations, summed
+  std::array<std::uint64_t, kEscHistBuckets> esc_iteration_hist{};
+  // Chunks.
+  std::uint64_t chunks_written = 0;
+  std::uint64_t long_row_chunks = 0;
+  // Merge.
+  std::array<std::uint64_t, 3> merge_case_rows{};  ///< rows per Multi/Path/Search
+  std::uint64_t merge_windows = 0;                 ///< merge windows written
+  // Scheduler block attribution.
+  std::uint64_t blocks_executed = 0;
+  std::uint64_t block_time_ns_sum = 0;
+  std::uint64_t block_time_ns_max = 0;
+
+  CountersSnapshot& operator+=(const CountersSnapshot& o);
+};
+
+/// Live counter set: relaxed atomics, safe to bump from any thread. Gauges
+/// (`*_capacity_bytes`, `*_used_bytes`, `block_time_ns_max`) keep the
+/// maximum observed value; everything else accumulates.
+struct Counters {
+  std::atomic<std::uint64_t> pool_alloc_bytes{0};
+  std::atomic<std::uint64_t> pool_denials{0};
+  std::atomic<std::uint64_t> pool_capacity_bytes{0};
+  std::atomic<std::uint64_t> pool_used_bytes{0};
+  std::atomic<std::uint64_t> restarts{0};
+  std::atomic<std::uint64_t> esc_blocks{0};
+  std::atomic<std::uint64_t> esc_iterations{0};
+  std::array<std::atomic<std::uint64_t>, kEscHistBuckets> esc_iteration_hist{};
+  std::atomic<std::uint64_t> chunks_written{0};
+  std::atomic<std::uint64_t> long_row_chunks{0};
+  std::array<std::atomic<std::uint64_t>, 3> merge_case_rows{};
+  std::atomic<std::uint64_t> merge_windows{0};
+  std::atomic<std::uint64_t> blocks_executed{0};
+  std::atomic<std::uint64_t> block_time_ns_sum{0};
+  std::atomic<std::uint64_t> block_time_ns_max{0};
+
+  /// Record one ESC block execution of `iterations` local iterations.
+  void record_esc_block(std::uint64_t iterations) {
+    esc_blocks.fetch_add(1, std::memory_order_relaxed);
+    esc_iterations.fetch_add(iterations, std::memory_order_relaxed);
+    const std::size_t bucket =
+        iterations == 0 ? 0
+                        : (iterations < kEscHistBuckets ? iterations
+                                                        : kEscHistBuckets - 1);
+    esc_iteration_hist[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Raise a maximum gauge to at least `value`.
+  static void raise(std::atomic<std::uint64_t>& gauge, std::uint64_t value) {
+    std::uint64_t cur = gauge.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !gauge.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] CountersSnapshot snapshot() const;
+};
+
+/// One recorded span. Wall times are seconds relative to the session epoch;
+/// `sim_time_s` is the simulated kernel time attributed to the span (0 for
+/// pure host-side spans).
+struct SpanRecord {
+  std::string name;
+  SpanId parent = kNoSpan;
+  std::uint32_t thread = 0;  ///< dense per-session thread slot
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double sim_time_s = 0.0;
+};
+
+class TraceSession {
+ public:
+  TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Open a span on the calling thread; its parent is the thread's innermost
+  /// open span. Returns the id to pass to `end_span`.
+  SpanId begin_span(std::string_view name);
+
+  /// Close span `id`, attributing `sim_time_s` of simulated time to it.
+  void end_span(SpanId id, double sim_time_s = 0.0);
+
+  /// Attribute additional simulated time to an open or closed span.
+  void add_sim_time(SpanId id, double sim_time_s);
+
+  /// Detail mode: producers additionally record fine-grained block-level
+  /// spans (per ESC iteration, per merge window). Off by default — stage
+  /// spans and counters are cheap; block spans are not.
+  void set_detail(bool on) { detail_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool detail() const {
+    return detail_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Counters& counters() { return counters_; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] CountersSnapshot counters_snapshot() const {
+    return counters_.snapshot();
+  }
+
+  /// Copy of all spans recorded so far (closed or still open).
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::size_t span_count() const;
+  /// Seconds since the session was created.
+  [[nodiscard]] double elapsed_s() const;
+
+ private:
+  [[nodiscard]] double now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  struct ThreadState {
+    std::uint32_t slot = 0;
+    std::vector<SpanId> stack;
+  };
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> detail_{false};
+  Counters counters_;
+  mutable std::mutex m_;
+  std::vector<SpanRecord> spans_;
+  std::unordered_map<std::thread::id, ThreadState> threads_;
+};
+
+/// RAII span: opens on construction (no-op for a null session), closes on
+/// destruction with the accumulated simulated time.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSession* session, std::string_view name) : session_(session) {
+    if (session_) id_ = session_->begin_span(name);
+  }
+  ~ScopedSpan() {
+    if (session_) session_->end_span(id_, sim_time_s_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attribute simulated kernel time to this span (added on close).
+  void add_sim_time(double s) { sim_time_s_ += s; }
+  [[nodiscard]] TraceSession* session() const { return session_; }
+  [[nodiscard]] SpanId id() const { return id_; }
+
+ private:
+  TraceSession* session_;
+  SpanId id_ = kNoSpan;
+  double sim_time_s_ = 0.0;
+};
+
+}  // namespace acs::trace
+
+// --- Producer hook macros ---------------------------------------------------
+// `session` is always a (possibly null) `acs::trace::TraceSession*`; every
+// macro is a no-op on null. Define ACS_TRACE_DISABLED to compile the hooks
+// out entirely (the spans/counters then cost literally nothing).
+
+#define ACS_TRACE_CONCAT_INNER(a, b) a##b
+#define ACS_TRACE_CONCAT(a, b) ACS_TRACE_CONCAT_INNER(a, b)
+
+#ifndef ACS_TRACE_DISABLED
+
+/// Named RAII span usable as a local variable (attach sim time to it).
+#define ACS_TRACE_SPAN(var, session, name) \
+  ::acs::trace::ScopedSpan var((session), (name))
+
+/// Anonymous scope span.
+#define ACS_TRACE_SCOPE(session, name) \
+  ACS_TRACE_SPAN(ACS_TRACE_CONCAT(acs_trace_scope_, __LINE__), session, name)
+
+/// counters().field += delta.
+#define ACS_TRACE_COUNT(session, field, delta)                                \
+  do {                                                                        \
+    if (::acs::trace::TraceSession* acs_trace_s_ = (session))                 \
+      acs_trace_s_->counters().field.fetch_add(                               \
+          static_cast<std::uint64_t>(delta), std::memory_order_relaxed);      \
+  } while (0)
+
+/// counters().field = max(counters().field, value) — for gauges.
+#define ACS_TRACE_GAUGE_MAX(session, field, value)                          \
+  do {                                                                      \
+    if (::acs::trace::TraceSession* acs_trace_s_ = (session))               \
+      ::acs::trace::Counters::raise(acs_trace_s_->counters().field,         \
+                                    static_cast<std::uint64_t>(value));     \
+  } while (0)
+
+/// Arbitrary statement executed only when tracing is live.
+#define ACS_TRACE_HOOK(session, stmt)                                 \
+  do {                                                                \
+    if (::acs::trace::TraceSession* acs_trace_s_ = (session)) {       \
+      ::acs::trace::TraceSession& acs_trace = *acs_trace_s_;          \
+      stmt;                                                           \
+    }                                                                 \
+  } while (0)
+
+#else  // ACS_TRACE_DISABLED
+
+namespace acs::trace {
+/// Stand-in for ScopedSpan when tracing is compiled out.
+struct NullSpan {
+  void add_sim_time(double) {}
+};
+}  // namespace acs::trace
+
+#define ACS_TRACE_SPAN(var, session, name) \
+  ::acs::trace::NullSpan var;              \
+  (void)var;                               \
+  (void)(session)
+#define ACS_TRACE_SCOPE(session, name) (void)(session)
+#define ACS_TRACE_COUNT(session, field, delta) (void)(session)
+#define ACS_TRACE_GAUGE_MAX(session, field, value) (void)(session)
+#define ACS_TRACE_HOOK(session, stmt) (void)(session)
+
+#endif  // ACS_TRACE_DISABLED

@@ -1,0 +1,133 @@
+/// Differential testing of the full AC-SpGEMM pipeline against the two
+/// reference implementations: `spa_multiply` (Gustavson row-by-row with a
+/// dense accumulator) and `esc_global_multiply` (global-memory ESC). All
+/// operands are quantized (values in multiples of 0.25, see test_util.hpp)
+/// so any accumulation order produces bit-identical sums — the three
+/// algorithms must then agree exactly, not just approximately.
+///
+/// Beyond the generator sweep, dedicated cases shrink `nnz_per_block` so
+/// rows split across three or more chunks, driving the Path and Search
+/// merge paths; trace counters prove the intended merge case actually ran.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/esc_global.hpp"
+#include "baselines/spa_gustavson.hpp"
+#include "core/acspgemm.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/transpose.hpp"
+#include "test_util.hpp"
+#include "trace/trace.hpp"
+
+namespace acs {
+namespace {
+
+template <class T>
+void expect_all_agree(const Csr<T>& a, const Csr<T>& b, const Config& cfg,
+                      const std::string& label) {
+  const Csr<T> adaptive = multiply(a, b, cfg);
+  const Csr<T> spa = spa_multiply(a, b);
+  const Csr<T> esc = esc_global_multiply(a, b);
+  EXPECT_TRUE(adaptive.equals_exact(spa)) << label << ": vs spa_gustavson";
+  EXPECT_TRUE(adaptive.equals_exact(esc)) << label << ": vs esc_global";
+}
+
+TEST(Differential, GeneratorSweepDouble) {
+  struct Case {
+    std::string name;
+    Csr<double> a;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"uniform", gen_uniform_random<double>(300, 300, 6.0, 2.0, 101)});
+  cases.push_back({"local", gen_uniform_local<double>(300, 300, 8.0, 2.0, 40, 102)});
+  cases.push_back({"powerlaw", gen_powerlaw<double>(300, 300, 5.0, 1.6, 120, 103)});
+  cases.push_back({"banded", gen_banded<double>(256, 4, 104)});
+  cases.push_back({"stencil2d", gen_stencil_2d<double>(20, 20, 105)});
+  cases.push_back({"stencil3d", gen_stencil_3d<double>(8, 8, 8, 106)});
+  cases.push_back({"blockdense", gen_block_dense<double>(200, 200, 12, 2, 107)});
+
+  for (auto& c : cases) {
+    c.a = testutil::quantize(std::move(c.a));
+    expect_all_agree(c.a, c.a, Config{}, c.name + " A*A");
+  }
+}
+
+TEST(Differential, GeneratorSweepFloat) {
+  auto a = testutil::quantize(gen_uniform_random<float>(250, 250, 5.0, 1.0, 111));
+  auto g = testutil::quantize(gen_powerlaw<float>(250, 250, 4.0, 1.5, 80, 112));
+  expect_all_agree(a, a, Config{}, "uniform float A*A");
+  expect_all_agree(g, g, Config{}, "powerlaw float A*A");
+}
+
+TEST(Differential, RectangularAxAt) {
+  // The paper's non-square setup: A * A^T through a precomputed transpose.
+  auto a = testutil::quantize(gen_uniform_random<double>(220, 150, 5.0, 2.0, 121));
+  const auto at = transpose(a);
+  expect_all_agree(a, at, Config{}, "rect A*At");
+}
+
+TEST(Differential, ConfigSweepSmallBlocks) {
+  // Shrunken block resources change chunking, iteration counts and merge
+  // batching — the result must not.
+  auto a = testutil::quantize(gen_powerlaw<double>(300, 300, 6.0, 1.5, 120, 131));
+  for (int nnz_per_block : {32, 64, 128}) {
+    Config cfg;
+    cfg.nnz_per_block = nnz_per_block;
+    expect_all_agree(a, a, cfg,
+                     "nnz_per_block=" + std::to_string(nnz_per_block));
+  }
+  Config tiny;
+  tiny.threads = 32;
+  tiny.elements_per_thread = 4;
+  tiny.retain_per_thread = 2;
+  expect_all_agree(a, a, tiny, "tiny block shape");
+}
+
+/// Multiply under `cfg` with a trace session attached and return the
+/// per-merge-case row counts — the proof a given merge path actually ran.
+template <class T>
+std::array<std::uint64_t, 3> traced_merge_rows(const Csr<T>& a, const Csr<T>& b,
+                                               Config cfg) {
+  trace::TraceSession session;
+  cfg.trace = &session;
+  const Csr<T> adaptive = multiply(a, b, cfg);
+  EXPECT_TRUE(adaptive.equals_exact(spa_multiply(a, b)));
+  EXPECT_TRUE(adaptive.equals_exact(esc_global_multiply(a, b)));
+  return session.counters_snapshot().merge_case_rows;
+}
+
+TEST(Differential, RowsAcrossManyChunksExercisePathMerge) {
+  // avg row length ~60 with 16 nnz per block: rows span >= 3 chunks, within
+  // path_merge_max_chunks (8) — Path Merge territory.
+  auto a = testutil::quantize(gen_uniform_random<double>(120, 120, 60.0, 8.0, 141));
+  Config cfg;
+  cfg.nnz_per_block = 16;
+  const auto rows = traced_merge_rows(a, a, cfg);
+  EXPECT_GT(rows[trace::kPathMerge], 0u);
+}
+
+TEST(Differential, ChunkCountBeyondPathLimitFallsToSearchMerge) {
+  auto a = testutil::quantize(gen_uniform_random<double>(120, 120, 60.0, 8.0, 142));
+  Config cfg;
+  cfg.nnz_per_block = 16;
+  cfg.path_merge_max_chunks = 2;  // >2 chunks per row -> Search Merge
+  const auto rows = traced_merge_rows(a, a, cfg);
+  EXPECT_GT(rows[trace::kSearchMerge], 0u);
+}
+
+TEST(Differential, LongRowsOfBMatchBaselines) {
+  const auto base = gen_uniform_random<double>(200, 200, 4.0, 1.0, 151);
+  auto a = testutil::quantize(inject_long_rows(base, 3, 1200, 152));
+  Config cfg;
+  EXPECT_TRUE(cfg.long_row_handling);
+  expect_all_agree(a, a, cfg, "long rows");
+}
+
+}  // namespace
+}  // namespace acs

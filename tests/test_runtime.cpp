@@ -256,6 +256,94 @@ TEST(Engine, BatchOutputsBitIdenticalForOneVsManyWorkers) {
     EXPECT_TRUE(seq[i].equals_exact(par[i])) << "job " << i;
 }
 
+TEST(Engine, PlanCacheEvictionUnderWorkerContention) {
+  // More distinct patterns than cache slots, hammered by 4 workers twice
+  // over: the LRU must evict without corrupting results, and the counter
+  // arithmetic (hits + misses = lookups, insertions - evictions = size)
+  // must stay consistent under contention.
+  constexpr std::size_t kPatterns = 6;
+  std::vector<std::pair<Csr<double>, Csr<double>>> pairs;
+  for (std::size_t p = 0; p < kPatterns; ++p) {
+    const auto m = gen_uniform_random<double>(
+        160 + static_cast<index_t>(8 * p), 160 + static_cast<index_t>(8 * p),
+        5.0, 1.0, 200 + p);
+    pairs.emplace_back(m, m);
+  }
+  for (std::size_t p = 0; p < kPatterns; ++p) pairs.push_back(pairs[p]);
+
+  EngineConfig ec;
+  ec.workers = 4;
+  ec.plan_cache_capacity = 3;  // < kPatterns: forces evictions
+  Engine<double> engine(ec);
+  const auto results = engine.multiply_batch(pairs, tight_pool_config());
+
+  ASSERT_EQ(results.size(), 2 * kPatterns);
+  for (std::size_t p = 0; p < kPatterns; ++p) {
+    ASSERT_FALSE(results[p].failed());
+    EXPECT_TRUE(results[p].c.equals_exact(results[p + kPatterns].c))
+        << "pattern " << p;
+  }
+  const auto c = engine.plan_counters();
+  EXPECT_GT(c.evictions, 0u);
+  EXPECT_EQ(c.hits + c.misses, 2 * kPatterns);
+  EXPECT_EQ(c.insertions + c.refreshes, 2 * kPatterns);
+  EXPECT_EQ(c.insertions - c.evictions, 3u);  // cache left full
+}
+
+TEST(Engine, MetricsAggregateAcrossWorkers) {
+  const auto a = gen_uniform_random<double>(300, 300, 6.0, 2.0, 210);
+  const auto b = gen_powerlaw<double>(300, 300, 5.0, 1.6, 100, 211);
+  std::vector<std::pair<Csr<double>, Csr<double>>> pairs;
+  for (int i = 0; i < 4; ++i) pairs.emplace_back(a, a);
+  for (int i = 0; i < 4; ++i) pairs.emplace_back(b, b);
+
+  EngineConfig ec;
+  ec.workers = 4;
+  Engine<double> engine(ec);
+  const auto results = engine.multiply_batch(pairs);
+  const trace::MetricsSnapshot m = engine.metrics();
+
+  EXPECT_EQ(m.jobs, pairs.size());
+  double sim = 0.0, per_job_stage = 0.0;
+  std::uint64_t chunks = 0;
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.failed());
+    sim += r.stats.sim_time_s;
+    chunks += r.stats.chunks_created;
+    for (double t : r.metrics.stage_sim_time_s) per_job_stage += t;
+    EXPECT_EQ(r.metrics.jobs, 1u);
+  }
+  EXPECT_NEAR(m.sim_time_s, sim, 1e-12);
+  EXPECT_EQ(m.chunks_created, chunks);
+  double rolled_stage = 0.0;
+  for (double t : m.stage_sim_time_s) rolled_stage += t;
+  EXPECT_NEAR(rolled_stage, per_job_stage, 1e-12);
+  EXPECT_NEAR(rolled_stage, sim, 1e-12);  // stages partition the sim time
+  EXPECT_GT(m.pool_bytes, 0u);
+}
+
+TEST(Engine, CollectJobTracesAttachesSessionPerJob) {
+  const auto a = gen_uniform_random<double>(250, 250, 5.0, 1.0, 220);
+  EngineConfig ec;
+  ec.collect_job_traces = true;
+  Engine<double> engine(ec);
+  auto h1 = engine.submit(a, a);
+  auto h2 = engine.submit(a, a);
+  auto& r1 = h1.result();
+  auto& r2 = h2.result();
+
+  ASSERT_NE(r1.trace, nullptr);
+  ASSERT_NE(r2.trace, nullptr);
+  EXPECT_NE(r1.trace, r2.trace);  // one session per job, counters not shared
+  EXPECT_GT(r1.trace->span_count(), 0u);
+  EXPECT_EQ(r1.metrics.counters.chunks_written, r1.stats.chunks_created);
+  EXPECT_EQ(r2.metrics.counters.chunks_written, r2.stats.chunks_created);
+  EXPECT_TRUE(r1.c.equals_exact(r2.c));
+
+  // Results are unaffected by tracing.
+  EXPECT_TRUE(r1.c.equals_exact(multiply(a, a)));
+}
+
 TEST(Engine, FailedJobRethrowsAndEngineKeepsWorking) {
   Engine<double> engine;
   const auto a = gen_uniform_random<double>(50, 60, 3.0, 1.0, 61);
@@ -268,6 +356,42 @@ TEST(Engine, FailedJobRethrowsAndEngineKeepsWorking) {
   EXPECT_TRUE(ok.result().c.equals_exact(multiply(good, good)));
   EXPECT_EQ(engine.stats().jobs_failed, 1u);
   EXPECT_EQ(engine.stats().jobs_completed, 2u);
+}
+
+TEST(Engine, BatchWithThrowingJobFailsOnlyThatJob) {
+  // Regression: multiply_batch used to rethrow the first failing job's
+  // exception, abandoning every later job's result (and, with handles
+  // dropped mid-batch, leaving nothing to observe the remaining jobs with).
+  // A bad pair must now fail only its own entry; siblings complete, the
+  // worker pool drains, and the engine stays usable afterwards.
+  const auto good = gen_uniform_random<double>(200, 200, 5.0, 1.0, 230);
+  const auto a_bad = gen_uniform_random<double>(50, 60, 3.0, 1.0, 231);
+  std::vector<std::pair<Csr<double>, Csr<double>>> pairs;
+  pairs.emplace_back(good, good);
+  pairs.emplace_back(a_bad, a_bad);  // 60 cols vs 50 rows: dimension mismatch
+  pairs.emplace_back(good, good);
+
+  EngineConfig ec;
+  ec.workers = 2;
+  Engine<double> engine(ec);
+  const auto results = engine.multiply_batch(pairs);
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].failed());
+  ASSERT_TRUE(results[1].failed());
+  EXPECT_THROW(std::rethrow_exception(results[1].error),
+               std::invalid_argument);
+  EXPECT_FALSE(results[2].failed());
+  EXPECT_TRUE(results[0].c.equals_exact(multiply(good, good)));
+  EXPECT_TRUE(results[2].c.equals_exact(results[0].c));
+
+  EXPECT_EQ(engine.stats().jobs_failed, 1u);
+  EXPECT_EQ(engine.stats().jobs_completed, 3u);
+  // Not wedged: new work still runs and wait_all() returns.
+  auto h = engine.submit(good, good);
+  EXPECT_TRUE(h.result().c.equals_exact(results[0].c));
+  engine.wait_all();
+  EXPECT_EQ(engine.metrics().jobs, 3u);  // failed job excluded from metrics
 }
 
 TEST(Engine, CacheAndArenaCanBeDisabled) {
