@@ -37,24 +37,7 @@ class SchedulerTraceGuard {
   trace::TraceSession* previous_;
 };
 
-/// Split an aggregate metric set into `count` identical per-block shares —
-/// used for uniform utility kernels (load balancing, scans, chunk copy).
-std::vector<sim::MetricCounters> uniform_blocks(std::size_t count,
-                                                const sim::MetricCounters& total) {
-  if (count == 0) return {};
-  sim::MetricCounters share;
-  const auto div = static_cast<std::uint64_t>(count);
-  share.global_bytes_coalesced = total.global_bytes_coalesced / div;
-  share.global_bytes_scattered = total.global_bytes_scattered / div;
-  share.scratch_ops = total.scratch_ops / div;
-  share.sort_pass_elements = total.sort_pass_elements / div;
-  share.scan_elements = total.scan_elements / div;
-  share.hash_probes = total.hash_probes / div;
-  share.atomic_ops = total.atomic_ops / div;
-  share.flops = total.flops / div;
-  share.compute_ops = total.compute_ops / div;
-  return std::vector<sim::MetricCounters>(count, share);
-}
+using sim::uniform_block_split;
 
 template <class T>
 class Pipeline {
@@ -74,6 +57,9 @@ class Pipeline {
                                       : estimate_chunk_pool_bytes(a, b, cfg)),
         pool_(initial_pool_) {
     validate();
+    // Fault-injection hook (core/chunk.hpp): denials look exactly like pool
+    // exhaustion, so they exercise the restart protocol on demand.
+    pool_.set_policy(cfg.alloc_policy);
   }
 
   Csr<T> run() {
@@ -106,6 +92,10 @@ class Pipeline {
         cfg_.retain_per_thread >= cfg_.elements_per_thread)
       throw std::invalid_argument(
           "acspgemm: retain_per_thread must be in [0, elements_per_thread)");
+    if (!(cfg_.pool_growth_factor > 1.0))
+      throw std::invalid_argument(
+          "acspgemm: pool_growth_factor must be > 1 (growth must make "
+          "progress every restart)");
     if (cfg_.temp_capacity() > 32767)
       throw std::invalid_argument(
           "acspgemm: temp capacity exceeds the 15-bit compaction counters");
@@ -140,6 +130,33 @@ class Pipeline {
     return t.time_s;
   }
 
+  /// One restart round's pool growth ("resize and restart", §3.5): bounded
+  /// geometric. The step is (factor - 1) × current capacity — doubling by
+  /// default — floored at 64 KB so a tiny override still makes progress and
+  /// capped at `pool_growth_max_step_bytes` so a huge pool grows linearly
+  /// instead of overshooting. A pool undersized by a factor D therefore
+  /// converges in O(log D) restarts; the final capacity feeds back into the
+  /// plan (finalize_stats), so warm replays start restart-free.
+  void grow_pool_after_restart() {
+    const double want = static_cast<double>(pool_.capacity()) *
+                        (cfg_.pool_growth_factor - 1.0);
+    std::size_t step = want >= static_cast<double>(cfg_.pool_growth_max_step_bytes)
+                           ? cfg_.pool_growth_max_step_bytes
+                           : static_cast<std::size_t>(want);
+    step = std::max(step, std::size_t{64} << 10);
+    pool_.grow(step);
+  }
+
+  /// Per-round restart bookkeeping shared by the ESC and merge stages.
+  void record_restart_round(std::size_t failed_blocks) {
+    stats_.pool_denials += failed_blocks;
+    ACS_TRACE_COUNT(trace_, pool_denials, failed_blocks);
+    if (failed_blocks == 0) return;
+    ++stats_.restarts;
+    ACS_TRACE_COUNT(trace_, restarts, 1);
+    grow_pool_after_restart();
+  }
+
   // --- Stage 1: global load balancing (Algorithm 1). -----------------------
   void global_load_balance() {
     ACS_TRACE_SPAN(span, trace_, "GLB");
@@ -170,7 +187,7 @@ class Pipeline {
         (static_cast<std::uint64_t>(a_.rows) + num_blocks_) * sizeof(index_t);
     m.scan_elements = static_cast<std::uint64_t>(a_.rows);
     span.add_sim_time(record_stage(
-        "GLB", uniform_blocks(divup<std::size_t>(
+        "GLB", uniform_block_split(divup<std::size_t>(
                                   std::max<std::size_t>(
                                       static_cast<std::size_t>(a_.rows), 1),
                                   static_cast<std::size_t>(cfg_.threads)),
@@ -208,14 +225,8 @@ class Pipeline {
         }
         if (results[i].needs_restart) failed.push_back(pending[i]);
       }
-      ACS_TRACE_COUNT(trace_, pool_denials, failed.size());
       span.add_sim_time(record_stage("ESC", launch_metrics));
-
-      if (!failed.empty()) {
-        ++stats_.restarts;
-        ACS_TRACE_COUNT(trace_, restarts, 1);
-        pool_.grow(std::max<std::size_t>(initial_pool_, std::size_t{64} << 10));
-      }
+      record_restart_round(failed.size());
       pending = std::move(failed);
     }
   }
@@ -266,7 +277,7 @@ class Pipeline {
         m.scan_elements = shared_rows.size();
         m.global_bytes_coalesced = shared_rows.size() * 2 * sizeof(index_t);
         span.add_sim_time(record_stage(
-            "MCC", uniform_blocks(
+            "MCC", uniform_block_split(
                        divup<std::size_t>(shared_rows.size(),
                                           static_cast<std::size_t>(cfg_.threads)),
                        m)));
@@ -374,14 +385,8 @@ class Pipeline {
         if (!results[i].needs_restart) done[t] = true;
         else failed.push_back(t);
       }
-      ACS_TRACE_COUNT(trace_, pool_denials, failed.size());
       stage_span.add_sim_time(record_stage(stage, launch_metrics));
-
-      if (!failed.empty()) {
-        ++stats_.restarts;
-        ACS_TRACE_COUNT(trace_, restarts, 1);
-        pool_.grow(std::max<std::size_t>(initial_pool_, std::size_t{64} << 10));
-      }
+      record_restart_round(failed.size());
       pending = std::move(failed);
     }
   }
@@ -447,7 +452,7 @@ class Pipeline {
     const auto live_chunks = static_cast<std::size_t>(
         std::count(chunk_live.begin(), chunk_live.end(), true));
     span.add_sim_time(
-        record_stage("CC", uniform_blocks(std::max<std::size_t>(live_chunks, 1), m)));
+        record_stage("CC", uniform_block_split(std::max<std::size_t>(live_chunks, 1), m)));
     return c;
   }
 

@@ -65,6 +65,31 @@ struct Chunk {
   }
 };
 
+/// One `ChunkPool::try_allocate` attempt as seen by an `AllocationPolicy`.
+/// `index` is the 0-based sequence number of the attempt over the pool's
+/// lifetime — replayed allocations after a restart draw fresh indices, so a
+/// policy that denies attempt N lets the replay of the same chunk through.
+struct AllocationRequest {
+  std::uint64_t index = 0;  ///< global attempt number (denied or not)
+  std::size_t bytes = 0;    ///< requested size
+  std::size_t used = 0;     ///< pool usage before this attempt
+  std::size_t capacity = 0; ///< pool capacity at this attempt
+};
+
+/// Fault-injection hook consulted by `ChunkPool::try_allocate` before the
+/// capacity check. Returning false denies the allocation exactly as a real
+/// exhaustion would — the caller observes `try_allocate() == false` and
+/// enters the restart protocol — which makes every restart path reachable
+/// on demand instead of only via undersized pools. Implementations must be
+/// safe to call from concurrent scheduler threads; deterministic injectors
+/// live in src/fault/ (see DESIGN.md §8).
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+  /// True to allow the attempt, false to simulate pool exhaustion.
+  virtual bool allow(const AllocationRequest& request) = 0;
+};
+
 /// Memory-accounting view of the chunk pool: a bump allocator with a hard
 /// capacity. `try_allocate` mirrors the GPU's atomic-counter increment; the
 /// actual storage lives in the Chunk objects (the simulator does not need
@@ -73,11 +98,26 @@ class ChunkPool {
  public:
   explicit ChunkPool(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
 
-  /// Reserve `bytes`; false means the pool is exhausted (restart needed).
+  /// Reserve `bytes`; false means the pool is exhausted (restart needed) —
+  /// either genuinely or because the installed policy denied the attempt.
   bool try_allocate(std::size_t bytes) {
+    const std::uint64_t index =
+        alloc_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (AllocationPolicy* policy = policy_) {
+      AllocationRequest req;
+      req.index = index;
+      req.bytes = bytes;
+      req.used = used_.load(std::memory_order_relaxed);
+      req.capacity = capacity_.load(std::memory_order_relaxed);
+      if (!policy->allow(req)) {
+        injected_denials_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
     const std::size_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
     if (prev + bytes > capacity_.load(std::memory_order_relaxed)) {
       used_.fetch_sub(bytes, std::memory_order_relaxed);
+      capacity_denials_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     return true;
@@ -88,16 +128,40 @@ class ChunkPool {
     capacity_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
+  /// Install (or clear, with nullptr) the fault-injection hook. Non-owning;
+  /// the policy must outlive every `try_allocate`. Install before handing
+  /// the pool to concurrent blocks — the pointer itself is not synchronized
+  /// against in-flight allocations.
+  void set_policy(AllocationPolicy* policy) { policy_ = policy; }
+  [[nodiscard]] AllocationPolicy* policy() const { return policy_; }
+
   [[nodiscard]] std::size_t used() const {
     return used_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t capacity() const {
     return capacity_.load(std::memory_order_relaxed);
   }
+  /// try_allocate calls so far, successful or not — the injection-point
+  /// space a fault sweep enumerates.
+  [[nodiscard]] std::uint64_t alloc_attempts() const {
+    return alloc_attempts_.load(std::memory_order_relaxed);
+  }
+  /// Denials issued by the installed policy (never by real exhaustion).
+  [[nodiscard]] std::uint64_t injected_denials() const {
+    return injected_denials_.load(std::memory_order_relaxed);
+  }
+  /// Denials from genuine capacity exhaustion.
+  [[nodiscard]] std::uint64_t capacity_denials() const {
+    return capacity_denials_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::size_t> capacity_;
   std::atomic<std::size_t> used_{0};
+  std::atomic<std::uint64_t> alloc_attempts_{0};
+  std::atomic<std::uint64_t> injected_denials_{0};
+  std::atomic<std::uint64_t> capacity_denials_{0};
+  AllocationPolicy* policy_ = nullptr;
 };
 
 /// A row's reference to part of a chunk, used for merge detection and the

@@ -279,6 +279,13 @@ EscBlockResult<T> run_esc_block(const Csr<T>& a, const Csr<T>& b,
       m.scratch_ops += 2 * chunk.cols.size();
       res.chunks.push_back(std::move(chunk));
       ++state.chunk_counter;
+      // Restart invariant (DESIGN.md §8): `committed` counts exactly the
+      // work-distribution sources whose products are fully represented in
+      // written chunks. A carried (retained) last row is NOT committed —
+      // its sources replay after a restart and the replayed products
+      // re-produce the carried partial row bit-identically. This is the
+      // only place `committed` advances; it moves monotonically and only
+      // after the chunk covering the work is safely in the pool.
       state.committed =
           wd.consumed() - (carry_last ? last_row_sources : 0);
     }
@@ -297,11 +304,12 @@ EscBlockResult<T> run_esc_block(const Csr<T>& a, const Csr<T>& b,
       }
       carried_sources = last_row_sources;
     } else {
+      // With no carry, last_row_sources was not subtracted above, so
+      // `committed` already equals wd.consumed() — no second assignment.
       carried_local_row = -1;
       car_col.clear();
       car_val.clear();
       carried_sources = 0;
-      if (write_rows > 0) state.committed = wd.consumed();
     }
   }
 

@@ -201,6 +201,10 @@ MergeOutcome<T> run_merge_block(const MergeBatch& batch,
       T sum = g.val[begin];
       for (std::size_t j = begin + 1; j < end; ++j) sum += g.val[j];
       m.scan_elements += wn;
+      // The wn-1 additions are useful floating-point work just like the
+      // compaction path's combines — uncharged they vanish from the Fig. 7
+      // breakdown on duplicate-heavy inputs.
+      m.flops += static_cast<std::uint64_t>(wn - 1);
       chunk.rows.push_back(
           batch.rows[static_cast<std::size_t>(codec.row_of(keys[begin]))]);
       chunk.row_offsets = {0, 1};

@@ -1,0 +1,61 @@
+#include "fault/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acs::fault {
+namespace {
+
+/// splitmix64 finalizer: a cheap, high-quality 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t rate_to_threshold(double rate) {
+  const double clamped = std::clamp(rate, 0.0, 1.0);
+  // 2^64 * rate without overflowing at rate == 1.
+  if (clamped >= 1.0) return ~0ull;
+  return static_cast<std::uint64_t>(
+      std::ldexp(clamped, 64));
+}
+
+}  // namespace
+
+SeededProbabilisticPolicy::SeededProbabilisticPolicy(std::uint64_t seed,
+                                                     double deny_rate)
+    : seed_(seed), threshold_(rate_to_threshold(deny_rate)) {}
+
+bool SeededProbabilisticPolicy::allow(const AllocationRequest& request) {
+  if (mix64(seed_ ^ mix64(request.index)) >= threshold_) return true;
+  denials_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+ByteBudgetPolicy::ByteBudgetPolicy(std::vector<std::size_t> budgets)
+    : budgets_(std::move(budgets)) {}
+
+bool ByteBudgetPolicy::allow(const AllocationRequest& request) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (stage_ < budgets_.size() &&
+      granted_ + request.bytes > budgets_[stage_]) {
+    ++stage_;  // one denial per budget: the next round sees the next budget
+    return false;
+  }
+  granted_ += request.bytes;
+  return true;
+}
+
+std::uint64_t ByteBudgetPolicy::denials() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return static_cast<std::uint64_t>(stage_);
+}
+
+std::size_t ByteBudgetPolicy::stages_passed() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return stage_;
+}
+
+}  // namespace acs::fault

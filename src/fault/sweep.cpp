@@ -1,0 +1,65 @@
+#include "fault/sweep.hpp"
+
+#include "baselines/spa_gustavson.hpp"
+#include "fault/policies.hpp"
+
+namespace acs::fault {
+
+template <class T>
+std::uint64_t count_allocation_points(const Csr<T>& a, const Csr<T>& b,
+                                      Config cfg) {
+  CountingPolicy counter;
+  cfg.alloc_policy = &counter;
+  (void)multiply(a, b, cfg);
+  return counter.attempts();
+}
+
+template <class T>
+SweepReport sweep_injection_points(const Csr<T>& a, const Csr<T>& b,
+                                   Config cfg, const SweepOptions& options) {
+  SweepReport report;
+
+  // 1. Clean run: enumerate the injection points, capture the reference.
+  CountingPolicy counter;
+  cfg.alloc_policy = &counter;
+  const Csr<T> reference = multiply(a, b, cfg);
+  report.allocation_points = counter.attempts();
+  if (options.differential_reference)
+    report.reference_agrees = reference.equals_exact(spa_multiply(a, b));
+
+  // 2. Deny exactly allocation i, for every selected i. Each denial must
+  // force at least one restart (the attempt exists) and must not change a
+  // single bit of the output.
+  const std::uint64_t stride = options.stride == 0 ? 1 : options.stride;
+  for (std::uint64_t i = 0; i < report.allocation_points; i += stride) {
+    if (options.max_points != 0 && report.injected_runs >= options.max_points)
+      break;
+    DenyNthPolicy deny(i);
+    cfg.alloc_policy = &deny;
+    SpgemmStats stats;
+    const Csr<T> injected = multiply(a, b, cfg, &stats);
+    ++report.injected_runs;
+    if (stats.restarts > 0) ++report.runs_with_restart;
+    report.total_restarts += static_cast<std::uint64_t>(
+        stats.restarts < 0 ? 0 : stats.restarts);
+    report.total_denials += stats.pool_denials;
+    if (!injected.equals_exact(reference)) {
+      if (report.mismatches == 0) report.first_mismatch_point = i;
+      ++report.mismatches;
+    }
+  }
+  return report;
+}
+
+template std::uint64_t count_allocation_points(const Csr<float>&,
+                                               const Csr<float>&, Config);
+template std::uint64_t count_allocation_points(const Csr<double>&,
+                                               const Csr<double>&, Config);
+template SweepReport sweep_injection_points(const Csr<float>&,
+                                            const Csr<float>&, Config,
+                                            const SweepOptions&);
+template SweepReport sweep_injection_points(const Csr<double>&,
+                                            const Csr<double>&, Config,
+                                            const SweepOptions&);
+
+}  // namespace acs::fault

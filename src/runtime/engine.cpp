@@ -35,6 +35,7 @@ JobHandle<T> Engine<T>::submit(Csr<T> a, Csr<T> b, Config cfg) {
   state->cfg = cfg;
   {
     std::lock_guard<std::mutex> lock(m_);
+    state->seq = stats_.jobs_submitted;
     queue_.push_back(state);
     ++in_flight_;
     ++stats_.jobs_submitted;
@@ -128,6 +129,14 @@ void Engine<T>::run_job(detail::JobState<T>& job, WorkerContext& ctx) {
   if (config_.collect_job_traces && job.cfg.trace == nullptr) {
     session = std::make_shared<trace::TraceSession>();
     job.cfg.trace = session.get();
+  }
+  // Per-job fault injection, keyed by submission order so a given job gets
+  // the same policy regardless of which worker picks it up. A policy the
+  // submitter installed on the job's Config takes precedence.
+  std::unique_ptr<AllocationPolicy> injected_policy;
+  if (config_.make_alloc_policy && job.cfg.alloc_policy == nullptr) {
+    injected_policy = config_.make_alloc_policy(job.seq);
+    job.cfg.alloc_policy = injected_policy.get();
   }
   try {
     const Fingerprint key = fingerprint(job.a, job.b);

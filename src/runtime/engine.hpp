@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "core/acspgemm.hpp"
+#include "core/chunk.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/pool_arena.hpp"
 #include "trace/metrics.hpp"
@@ -60,6 +62,17 @@ struct EngineConfig {
   /// tracing is cheap but not free, and throughput benches gate on the
   /// untraced path.
   bool collect_job_traces = false;
+  /// Per-job fault injection: when set, called with the job's 0-based
+  /// submission sequence number to build the chunk-pool `AllocationPolicy`
+  /// installed on that job (see src/fault/policies.hpp for the deterministic
+  /// injectors). The engine owns the returned policy for the job's duration.
+  /// A policy the caller already placed on the job's own Config wins; a null
+  /// return injects nothing for that job. Injected denials surface as
+  /// restarts / pool denials on the job's `JobResult::metrics` and the
+  /// engine-wide `Engine::metrics()` — results stay bit-identical (the
+  /// determinism contract extends to injected exhaustion).
+  std::function<std::unique_ptr<AllocationPolicy>(std::size_t)>
+      make_alloc_policy;
 };
 
 /// Aggregate engine statistics (plan and pool details come from
@@ -98,6 +111,7 @@ struct JobState {
   Csr<T> a;
   Csr<T> b;
   Config cfg;
+  std::size_t seq = 0;  ///< submission sequence number (fault injection key)
 
   std::mutex m;
   std::condition_variable cv;

@@ -21,4 +21,28 @@ MetricCounters MetricCounters::operator+(const MetricCounters& other) const {
   return out;
 }
 
+std::vector<MetricCounters> uniform_block_split(std::size_t count,
+                                                const MetricCounters& total) {
+  if (count == 0) return {};
+  const auto div = static_cast<std::uint64_t>(count);
+  std::vector<MetricCounters> blocks(count);
+  const auto split = [&](std::uint64_t MetricCounters::* field,
+                         std::uint64_t value) {
+    const std::uint64_t base = value / div;
+    const std::uint64_t rem = value % div;
+    for (std::size_t i = 0; i < count; ++i)
+      blocks[i].*field = base + (static_cast<std::uint64_t>(i) < rem ? 1 : 0);
+  };
+  split(&MetricCounters::global_bytes_coalesced, total.global_bytes_coalesced);
+  split(&MetricCounters::global_bytes_scattered, total.global_bytes_scattered);
+  split(&MetricCounters::scratch_ops, total.scratch_ops);
+  split(&MetricCounters::sort_pass_elements, total.sort_pass_elements);
+  split(&MetricCounters::scan_elements, total.scan_elements);
+  split(&MetricCounters::hash_probes, total.hash_probes);
+  split(&MetricCounters::atomic_ops, total.atomic_ops);
+  split(&MetricCounters::flops, total.flops);
+  split(&MetricCounters::compute_ops, total.compute_ops);
+  return blocks;
+}
+
 }  // namespace acs::sim

@@ -5,7 +5,9 @@
 /// its memory traffic and compute work to one of these counter sets; the
 /// cost model (cost_model.hpp) converts them into simulated kernel time.
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace acs::sim {
 
@@ -34,5 +36,13 @@ struct MetricCounters {
   MetricCounters& operator+=(const MetricCounters& other);
   [[nodiscard]] MetricCounters operator+(const MetricCounters& other) const;
 };
+
+/// Split an aggregate counter set into `count` near-identical per-block
+/// shares whose field-wise sum equals `total` exactly: every field hands
+/// each block total/count and distributes the remainder one unit at a time
+/// over the first (total % count) blocks. Used for uniform utility kernels
+/// (load balancing, scans, chunk copy) where only the aggregate is known.
+[[nodiscard]] std::vector<MetricCounters> uniform_block_split(
+    std::size_t count, const MetricCounters& total);
 
 }  // namespace acs::sim

@@ -12,6 +12,7 @@ trace::MetricsSnapshot to_metrics_snapshot(const SpgemmStats& s) {
     if (i >= 0) m.stage_sim_time_s[static_cast<std::size_t>(i)] += t;
   }
   m.restarts = static_cast<std::uint64_t>(s.restarts < 0 ? 0 : s.restarts);
+  m.pool_denials = s.pool_denials;
   m.esc_iterations = s.esc_iterations;
   m.chunks_created = s.chunks_created;
   m.long_row_chunks = s.long_row_chunks;

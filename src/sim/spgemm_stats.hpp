@@ -28,6 +28,10 @@ struct SpgemmStats {
   double multiprocessor_load = 1.0;
   /// Host round trips due to chunk-pool exhaustion (Table 3 "R").
   int restarts = 0;
+  /// Blocks denied a chunk-pool allocation, summed over restart rounds —
+  /// real exhaustion and injected faults (core/chunk.hpp AllocationPolicy)
+  /// alike. Nonzero pool_denials with zero restarts is impossible.
+  std::size_t pool_denials = 0;
   /// Helper data structures in bytes (Table 3 "helper").
   std::size_t helper_bytes = 0;
   /// Allocated chunk-pool / temporary-buffer bytes (Table 3 "chunk").

@@ -17,6 +17,7 @@ MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& o) {
   for (std::size_t i = 0; i < kNumStages; ++i)
     stage_sim_time_s[i] += o.stage_sim_time_s[i];
   restarts += o.restarts;
+  pool_denials += o.pool_denials;
   esc_iterations += o.esc_iterations;
   chunks_created += o.chunks_created;
   long_row_chunks += o.long_row_chunks;

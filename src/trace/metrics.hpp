@@ -30,6 +30,10 @@ struct MetricsSnapshot {
   double sim_time_s = 0.0;   ///< summed simulated time
   std::array<double, kNumStages> stage_sim_time_s{};
   std::uint64_t restarts = 0;
+  /// Blocks denied a chunk-pool allocation (real exhaustion or injected
+  /// faults), summed over jobs — filled from `SpgemmStats::pool_denials`,
+  /// so it is live even when tracing is off.
+  std::uint64_t pool_denials = 0;
   std::uint64_t esc_iterations = 0;
   std::uint64_t chunks_created = 0;
   std::uint64_t long_row_chunks = 0;

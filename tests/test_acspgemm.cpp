@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+
 #include "baselines/spa_gustavson.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/generators.hpp"
@@ -174,6 +177,9 @@ TEST(AcSpgemm, BadConfigThrows) {
   Config cfg3;
   cfg3.elements_per_thread = 200;  // blows the 15-bit compaction counters
   EXPECT_THROW(multiply(m, m, cfg3), std::invalid_argument);
+  Config cfg4;
+  cfg4.pool_growth_factor = 1.0;  // would never grow on restart
+  EXPECT_THROW(multiply(m, m, cfg4), std::invalid_argument);
 }
 
 TEST(AcSpgemm, SmallBlocksForceRowSplitsAndMerges) {
@@ -228,6 +234,36 @@ TEST(AcSpgemm, TinyPoolForcesRestartsButStaysCorrect) {
   EXPECT_GT(stats.restarts, 0);
   const auto ref = spa_multiply(m, m);
   EXPECT_TRUE(c.equals_exact(ref));
+}
+
+TEST(AcSpgemm, GeometricGrowthConvergesFromHundredfoldUnderestimate) {
+  // Regression (ISSUE 3 satellite): restart growth used to add a flat
+  // initial-size step per round, so a pool undersized by a factor F needed
+  // O(F) restarts. Doubling (capped by pool_growth_max_step_bytes) makes a
+  // 100x under-estimate converge in O(log F) rounds — well under the ~7 the
+  // issue allows — while staying bit-identical to the ample-pool run.
+  const auto m = quantize(gen_uniform_random<double>(500, 500, 8.0, 3.0, 36));
+  SpgemmStats ample;
+  const auto ref = multiply(m, m, Config{}, &ample);
+  ASSERT_GT(ample.pool_used_bytes, 0u);
+
+  Config cfg;
+  cfg.pool_override_bytes = std::max<std::size_t>(ample.pool_used_bytes / 100, 1);
+  SpgemmStats stats;
+  const auto c = multiply(m, m, cfg, &stats);
+  EXPECT_GT(stats.restarts, 0);
+  EXPECT_LE(stats.restarts, 7);
+  EXPECT_GE(stats.pool_bytes, stats.pool_used_bytes);
+  EXPECT_TRUE(c.equals_exact(ref));
+
+  // The growth-step cap keeps each round bounded: with a tiny cap the same
+  // run still converges, just in more (linear) rounds.
+  Config capped = cfg;
+  capped.pool_growth_max_step_bytes = 64 << 10;
+  SpgemmStats capped_stats;
+  const auto cc = multiply(m, m, capped, &capped_stats);
+  EXPECT_GE(capped_stats.restarts, stats.restarts);
+  EXPECT_TRUE(cc.equals_exact(ref));
 }
 
 TEST(AcSpgemm, PoolEstimateRespectsLowerBound) {

@@ -6,7 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <utility>
+
 #include "core/acspgemm.hpp"
+#include "fault/policies.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/generators.hpp"
 
@@ -141,6 +146,66 @@ TEST(EscBlock, RestartResumesWithoutDuplicatingChunks) {
       got_counts[static_cast<std::size_t>(c.rows[r])] +=
           c.row_offsets[r + 1] - c.row_offsets[r];
   EXPECT_EQ(ref_counts, got_counts);
+}
+
+TEST(EscBlock, InjectedDenialAtEveryAllocationPreservesOutput) {
+  // Pins the `committed` invariant (DESIGN.md §8, ISSUE 3 satellite): the
+  // block advances `state.committed` exactly once per chunk write, to the
+  // consumed count minus any carried row's sources. Denying each allocation
+  // attempt in turn forces a restart at every commit boundary — including
+  // right between a chunk write and the carry handling, the spot where the
+  // old duplicated `committed` assignment lived — and replay must reproduce
+  // the clean run's per-(row, col) partial sums bit-for-bit.
+  Config cfg = tiny_config();
+  cfg.elements_per_thread = 2;  // capacity 32: many local iterations
+  cfg.retain_per_thread = 1;
+  // Dense rows so block 0's 16 sources expand across several iterations,
+  // giving the clean run a handful of chunk allocations to deny in turn.
+  const auto a = gen_uniform_random<double>(64, 64, 12.0, 2.0, 404);
+  const auto starts = glb(a, cfg);
+
+  ChunkPool clean_pool(1 << 20);
+  fault::CountingPolicy counting;
+  clean_pool.set_policy(&counting);
+  BlockState clean_state;
+  const auto ref =
+      run_esc_block<double>(a, a, starts, 0, cfg, clean_pool, clean_state);
+  ASSERT_TRUE(clean_state.finished);
+  ASSERT_FALSE(ref.needs_restart);
+  const std::uint64_t points = counting.attempts();
+  ASSERT_GE(points, 3u);  // several commit boundaries to inject between
+
+  // Accumulating partials in chunk order reproduces the global product-order
+  // sum, so equal maps mean bit-identical values, not just equal structure.
+  const auto sums_of = [](const std::vector<Chunk<double>>& chunks) {
+    std::map<std::pair<index_t, index_t>, double> sums;
+    for (const auto& c : chunks)
+      for (std::size_t r = 0; r < c.rows.size(); ++r)
+        for (index_t k = c.row_offsets[r]; k < c.row_offsets[r + 1]; ++k)
+          sums[{c.rows[r], c.cols[static_cast<std::size_t>(k)]}] +=
+              c.vals[static_cast<std::size_t>(k)];
+    return sums;
+  };
+  const auto ref_sums = sums_of(ref.chunks);
+
+  for (std::uint64_t i = 0; i < points; ++i) {
+    ChunkPool pool(1 << 20);  // ample: the only denial is the injected one
+    fault::DenyNthPolicy deny(i);
+    pool.set_policy(&deny);
+    BlockState state;
+    std::vector<Chunk<double>> chunks;
+    int restarts = 0;
+    for (;;) {
+      auto res = run_esc_block<double>(a, a, starts, 0, cfg, pool, state);
+      for (auto& c : res.chunks) chunks.push_back(std::move(c));
+      if (!res.needs_restart) break;
+      ++restarts;
+      ASSERT_LT(restarts, 10) << "denied attempt " << i;
+    }
+    EXPECT_EQ(restarts, 1) << "denied attempt " << i;
+    EXPECT_TRUE(state.finished) << "denied attempt " << i;
+    EXPECT_EQ(sums_of(chunks), ref_sums) << "denied attempt " << i;
+  }
 }
 
 TEST(EscBlock, EmptyBlockFinishesImmediately) {

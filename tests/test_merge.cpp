@@ -164,6 +164,27 @@ TEST(Merge, PointerChunksMaterializeFromB) {
     if (m.cols[i] == 12) EXPECT_EQ(m.vals[i], 2.0 * 1.5 + 100.0);
 }
 
+TEST(Merge, DegenerateOversizedGroupChargesFlops) {
+  // Regression (ISSUE 3 satellite): a key group with more duplicates of one
+  // (row, col) than kCounterMask allows takes the sequential-accumulation
+  // branch, which previously charged no flops at all — wn values summed with
+  // wn-1 additions must show up in the metrics like the compaction path's
+  // combines do.
+  constexpr std::size_t kDup = 33000;  // > compaction_detail::kCounterMask
+  std::vector<Chunk<double>> chunks;
+  chunks.push_back(row_chunk(4, std::vector<index_t>(kDup, 17),
+                             std::vector<double>(kDup, 0.25), 0, 0));
+  const auto batch = single_row_batch(4, chunks);
+  ChunkPool pool(1 << 20);
+  Config cfg;
+  const auto out = run_merge_block<double>(batch, chunks, empty_b(), cfg, pool,
+                                           MergeKind::Multi, 0, 99);
+  ASSERT_EQ(out.chunks.size(), 1u);
+  EXPECT_EQ(out.chunks[0].cols, (std::vector<index_t>{17}));
+  EXPECT_EQ(out.chunks[0].vals, (std::vector<double>{kDup * 0.25}));
+  EXPECT_GE(out.metrics.flops, kDup - 1);
+}
+
 TEST(Merge, RestartResumesAtWindow) {
   Config cfg;
   cfg.threads = 8;

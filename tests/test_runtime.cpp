@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/acspgemm.hpp"
+#include "fault/policies.hpp"
 #include "matrix/generators.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/fingerprint.hpp"
@@ -342,6 +343,40 @@ TEST(Engine, CollectJobTracesAttachesSessionPerJob) {
 
   // Results are unaffected by tracing.
   EXPECT_TRUE(r1.c.equals_exact(multiply(a, a)));
+}
+
+TEST(Engine, PerJobFaultInjectionKeepsResultsBitIdentical) {
+  // EngineConfig::make_alloc_policy builds one injector per job, keyed by
+  // submission order: the injected denials force restarts that must leave
+  // every job's output bit-identical to a clean engine's, while surfacing
+  // on the engine-wide metrics.
+  const auto a = gen_uniform_random<double>(300, 300, 6.0, 2.0, 41);
+  const auto b = gen_powerlaw<double>(300, 300, 5.0, 1.5, 100, 42);
+  std::vector<std::pair<Csr<double>, Csr<double>>> pairs = {
+      {a, a}, {a, b}, {b, b}, {b, a}};
+
+  Engine<double> clean_engine;
+  const auto clean = clean_engine.multiply_batch(pairs);
+
+  EngineConfig ec;
+  ec.workers = 2;
+  ec.make_alloc_policy =
+      [](std::size_t seq) -> std::unique_ptr<AllocationPolicy> {
+    if (seq == 1) return nullptr;  // a null return injects nothing
+    return std::make_unique<fault::DenyEveryKthPolicy>(5, seq);
+  };
+  Engine<double> engine(ec);
+  const auto injected = engine.multiply_batch(pairs);
+
+  ASSERT_EQ(injected.size(), clean.size());
+  for (std::size_t i = 0; i < injected.size(); ++i) {
+    ASSERT_FALSE(injected[i].failed()) << "job " << i;
+    EXPECT_TRUE(injected[i].c.equals_exact(clean[i].c)) << "job " << i;
+  }
+  EXPECT_EQ(engine.stats().jobs_failed, 0u);
+  // Injected exhaustion is visible on the aggregated metrics.
+  EXPECT_GT(engine.metrics().restarts, 0u);
+  EXPECT_GT(engine.metrics().pool_denials, 0u);
 }
 
 TEST(Engine, FailedJobRethrowsAndEngineKeepsWorking) {

@@ -46,6 +46,43 @@ TEST(SpgemmStatsExtras, GflopsZeroWithoutTime) {
   EXPECT_DOUBLE_EQ(s.gflops(), 2.0 * 1000 / 1e-3 / 1e9);
 }
 
+TEST(MetricCounters, UniformBlockSplitConservesEveryField) {
+  // Regression (ISSUE 3 satellite): the old per-block division dropped the
+  // remainder — splitting 10 units across 3 blocks lost one. The split must
+  // conserve each field exactly, for any block count.
+  sim::MetricCounters total;
+  total.global_bytes_coalesced = 1000;
+  total.global_bytes_scattered = 999;   // not divisible by 7
+  total.scratch_ops = 10;
+  total.sort_pass_elements = 6;         // fewer than the block count
+  total.scan_elements = 1;
+  total.hash_probes = 7;                // exactly divisible
+  total.atomic_ops = 13;
+  total.flops = 12345;
+  total.compute_ops = 2;
+  for (std::size_t count : {1u, 3u, 7u, 16u}) {
+    const auto blocks = sim::uniform_block_split(count, total);
+    ASSERT_EQ(blocks.size(), count);
+    sim::MetricCounters sum;
+    for (const auto& b : blocks) sum = sum + b;
+    EXPECT_EQ(sum.global_bytes_coalesced, total.global_bytes_coalesced);
+    EXPECT_EQ(sum.global_bytes_scattered, total.global_bytes_scattered);
+    EXPECT_EQ(sum.scratch_ops, total.scratch_ops);
+    EXPECT_EQ(sum.sort_pass_elements, total.sort_pass_elements);
+    EXPECT_EQ(sum.scan_elements, total.scan_elements);
+    EXPECT_EQ(sum.hash_probes, total.hash_probes);
+    EXPECT_EQ(sum.atomic_ops, total.atomic_ops);
+    EXPECT_EQ(sum.flops, total.flops);
+    EXPECT_EQ(sum.compute_ops, total.compute_ops);
+    // And the distribution is as even as integers allow.
+    for (const auto& b : blocks) {
+      EXPECT_LE(b.flops, total.flops / count + 1);
+      EXPECT_GE(b.flops, total.flops / count);
+    }
+  }
+  EXPECT_TRUE(sim::uniform_block_split(0, total).empty());
+}
+
 TEST(MetricCounters, AdditionAggregatesEveryField) {
   sim::MetricCounters a, b;
   a.global_bytes_coalesced = 1;
