@@ -94,6 +94,17 @@ class AllocationPolicy {
 /// capacity. `try_allocate` mirrors the GPU's atomic-counter increment; the
 /// actual storage lives in the Chunk objects (the simulator does not need
 /// the single flat arena, only its accounting behaviour).
+///
+/// Restart accounting: a failed `try_allocate` is the *only* trigger of the
+/// paper's §3.5 restart protocol. The pool distinguishes its two causes —
+/// `capacity_denials()` counts genuine exhaustion, `injected_denials()`
+/// counts refusals by the installed `AllocationPolicy` — while
+/// `alloc_attempts()` numbers every attempt, which is the index space the
+/// fault sweeps in src/fault enumerate. Per-run roll-ups land on
+/// `SpgemmStats`: `restarts` counts host round trips (one round may relaunch
+/// many blocks) and `pool_denials` the denied block launches of either
+/// cause; nonzero `pool_denials` with zero `restarts` is impossible
+/// (DESIGN.md §8).
 class ChunkPool {
  public:
   explicit ChunkPool(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}

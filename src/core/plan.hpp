@@ -12,12 +12,45 @@
 /// consumes and refreshes one.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/config.hpp"
 #include "matrix/types.hpp"
 
 namespace acs {
+
+/// Per-multiply parameters chosen by the auto-tuner (src/tune). A field at
+/// its sentinel value leaves the base `Config`'s setting untouched, so a
+/// default-constructed TunedParams is a no-op. Parameters are picked from
+/// *structural* features only (never from values), which keeps a stored
+/// plan applicable to every job sharing the structure fingerprint.
+struct TunedParams {
+  /// Non-zeros of A per block; 0 = keep `Config::nnz_per_block`.
+  int nnz_per_block = 0;
+  /// Retained elements per thread between local ESC iterations; -1 = keep
+  /// `Config::retain_per_thread`.
+  int retain_per_thread = -1;
+  /// Long-row cutoff for B; -1 = keep `Config::long_row_threshold`
+  /// (0 is a meaningful tuned value: "auto", i.e. temp_capacity()).
+  index_t long_row_threshold = -1;
+  /// Path-vs-Search merge cutoff; 0 = keep `Config::path_merge_max_chunks`.
+  int path_merge_max_chunks = 0;
+  /// False = no tuning decision recorded; `apply` is then a no-op.
+  bool valid = false;
+
+  friend bool operator==(const TunedParams&, const TunedParams&) = default;
+
+  /// Overlay the tuned values onto `cfg` (sentinel fields leave it alone).
+  void apply(Config& cfg) const {
+    if (!valid) return;
+    if (nnz_per_block > 0) cfg.nnz_per_block = nnz_per_block;
+    if (retain_per_thread >= 0) cfg.retain_per_thread = retain_per_thread;
+    if (long_row_threshold >= 0) cfg.long_row_threshold = long_row_threshold;
+    if (path_merge_max_chunks > 0)
+      cfg.path_merge_max_chunks = path_merge_max_chunks;
+  }
+};
 
 struct SpgemmPlan {
   /// blockRowStarts of Algorithm 1, one entry per block. Empty means the
@@ -40,6 +73,20 @@ struct SpgemmPlan {
   int observed_restarts = 0;
   /// Completed runs recorded into this plan.
   std::size_t runs = 0;
+
+  // --- Auto-tuner state (src/tune), carried through the PlanCache. -------
+  /// Parameters the tuner chose for this structure; invalid = untuned.
+  /// A warm plan-cache hit replays them for free (no feature re-extraction).
+  TunedParams tuned;
+  /// Exact intermediate-product count measured by the first tuned run
+  /// (`SpgemmStats::intermediate_products`). Structure-determined, so it is
+  /// identical for every job sharing the fingerprint; the feedback tuning
+  /// mode uses it to replace the sampled upfront estimate and re-rank
+  /// candidates. 0 = not measured yet.
+  offset_t measured_products = 0;
+  /// Feedback refinements applied (the refined choice is stable after the
+  /// first, because the calibration input is exact and structural).
+  std::uint32_t feedback_runs = 0;
 
   /// True if the stored load-balancing table can be reused for a
   /// multiplication of an A with `nnz` non-zeros under `cfg`.

@@ -143,9 +143,28 @@ void Engine<T>::run_job(detail::JobState<T>& job, WorkerContext& ctx) {
     SpgemmPlan plan;
     const bool hit = config_.use_plan_cache && cache_.lookup(key, plan);
 
+    // Auto-tuning (src/tune): decide once per structure fingerprint, replay
+    // from the cached plan afterwards. The choice is a pure function of
+    // structure, so a cache miss recomputes the identical overlay.
+    const bool tuning_on = config_.tuning != tune::TuningMode::kOff;
+    const tune::AutoTuner tuner(config_.tuner);
+    if (tuning_on && !plan.tuned.valid) {
+      const auto feats =
+          tune::extract_features(job.a, job.b, config_.tuner.sample_stride,
+                                 config_.tuner.min_samples);
+      plan.tuned = tuner.choose(
+          feats, job.cfg, sizeof(T),
+          plan.measured_products > 0
+              ? static_cast<double>(plan.measured_products)
+              : 0.0);
+    }
+    Config cfg = job.cfg;  // job.cfg stays as submitted, for reporting
+    plan.tuned.apply(cfg);
+    result.tuned = plan.tuned;
+
     std::size_t want = plan.pool_bytes
                            ? plan.pool_bytes
-                           : estimate_chunk_pool_bytes(job.a, job.b, job.cfg);
+                           : estimate_chunk_pool_bytes(job.a, job.b, cfg);
     if (config_.use_pool_arena) {
       lease = arena_.acquire(want);
       leased = true;
@@ -153,13 +172,13 @@ void Engine<T>::run_job(detail::JobState<T>& job, WorkerContext& ctx) {
     }
     plan.pool_bytes = want;
 
-    if (!ctx.scheduler || ctx.scheduler_threads != job.cfg.scheduler_threads) {
+    if (!ctx.scheduler || ctx.scheduler_threads != cfg.scheduler_threads) {
       ctx.scheduler =
-          std::make_unique<sim::BlockScheduler>(job.cfg.scheduler_threads);
-      ctx.scheduler_threads = job.cfg.scheduler_threads;
+          std::make_unique<sim::BlockScheduler>(cfg.scheduler_threads);
+      ctx.scheduler_threads = cfg.scheduler_threads;
     }
 
-    result.c = multiply_planned(job.a, job.b, job.cfg, plan, &result.stats,
+    result.c = multiply_planned(job.a, job.b, cfg, plan, &result.stats,
                                 ctx.scheduler.get());
     result.plan_hit = hit;
     result.pool_reused_bytes = lease.reused_bytes;
@@ -173,6 +192,31 @@ void Engine<T>::run_job(detail::JobState<T>& job, WorkerContext& ctx) {
       // The final capacity (including restart growth) becomes the slab.
       arena_.release(result.stats.pool_bytes);
       leased = false;
+    }
+
+    // Feedback refinement: once per fingerprint, swap the sampled product
+    // estimate for the exact measured count and re-rank. The measurement is
+    // structural (identical for every job sharing the fingerprint), so the
+    // refined choice is deterministic and stable — feedback_runs stays at 1.
+    if (config_.tuning == tune::TuningMode::kFeedback &&
+        plan.feedback_runs == 0) {
+      plan.measured_products = result.stats.intermediate_products;
+      const auto feats =
+          tune::extract_features(job.a, job.b, config_.tuner.sample_stride,
+                                 config_.tuner.min_samples);
+      TunedParams refined =
+          tuner.choose(feats, job.cfg, sizeof(T),
+                       static_cast<double>(plan.measured_products));
+      if (refined.valid && !(refined == plan.tuned)) {
+        // The stored load-balancing table and learned pool size were built
+        // for the superseded parameters; drop them so the next run rebuilds
+        // and re-learns under the refined overlay.
+        plan.tuned = refined;
+        plan.block_row_starts.clear();
+        plan.pool_bytes = 0;
+        plan.observed_pool_used = 0;
+      }
+      plan.feedback_runs = 1;
     }
     if (config_.use_plan_cache) cache_.store(key, std::move(plan));
   } catch (...) {

@@ -42,6 +42,7 @@
 #include "runtime/pool_arena.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "tune/tuner.hpp"
 
 namespace acs::runtime {
 
@@ -73,6 +74,23 @@ struct EngineConfig {
   /// determinism contract extends to injected exhaustion).
   std::function<std::unique_ptr<AllocationPolicy>(std::size_t)>
       make_alloc_policy;
+  /// Per-job parameter auto-tuning (src/tune). `kOff` (default) runs every
+  /// job with its submitted Config verbatim. `kStaticCostModel` extracts
+  /// structural features on the first job of each structure fingerprint,
+  /// ranks the tuner's candidate grid through the sim cost model, stores
+  /// the winner on the plan (`SpgemmPlan::tuned`) and replays it for free
+  /// on every cache hit. `kFeedback` additionally re-ranks once per
+  /// fingerprint after the first run, substituting the exact measured
+  /// product count (`SpgemmStats::intermediate_products`) for the sampled
+  /// estimate; the refined choice is stable from then on. Tuning decisions
+  /// are pure functions of sparsity structure, so with `kStaticCostModel`
+  /// the engine's determinism contract is untouched; under `kFeedback` the
+  /// first run of a fingerprint may use different parameters than later
+  /// runs, which can shift last-bit float association (DESIGN.md §9).
+  /// Without the plan cache, tuning still works but re-ranks every job.
+  tune::TuningMode tuning = tune::TuningMode::kOff;
+  /// Candidate grids + feature sampling used when `tuning` != kOff.
+  tune::TunerOptions tuner;
 };
 
 /// Aggregate engine statistics (plan and pool details come from
@@ -90,6 +108,9 @@ struct JobResult {
   SpgemmStats stats;
   bool plan_hit = false;             ///< plan served from the cache
   std::size_t pool_reused_bytes = 0; ///< pool request covered by the arena
+  /// Parameter overlay this run executed with (invalid when tuning was off
+  /// or no feasible candidate existed — the job then ran its Config as-is).
+  TunedParams tuned;
   /// Per-job metrics snapshot (always filled on success; stage times come
   /// from `stats`, the trace counter block from `trace` when attached).
   trace::MetricsSnapshot metrics;

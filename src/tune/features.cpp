@@ -1,0 +1,94 @@
+#include "tune/features.hpp"
+
+#include <algorithm>
+
+namespace acs::tune {
+
+double TuneFeatures::products_in_rows_at_least(index_t t) const {
+  // sampled_b_lens is sorted ascending; sum the tail.
+  auto it = std::lower_bound(sampled_b_lens.begin(), sampled_b_lens.end(), t);
+  double sum = 0.0;
+  for (; it != sampled_b_lens.end(); ++it) sum += static_cast<double>(*it);
+  return sum * static_cast<double>(stride);
+}
+
+double TuneFeatures::entries_in_rows_at_least(index_t t) const {
+  auto it = std::lower_bound(sampled_b_lens.begin(), sampled_b_lens.end(), t);
+  return static_cast<double>(sampled_b_lens.end() - it) *
+         static_cast<double>(stride);
+}
+
+RowLengthProfile row_length_profile(const std::vector<index_t>& row_ptr,
+                                    index_t rows) {
+  RowLengthProfile p;
+  if (rows <= 0) return p;
+  std::vector<index_t> lens(static_cast<std::size_t>(rows));
+  for (index_t r = 0; r < rows; ++r)
+    lens[static_cast<std::size_t>(r)] =
+        row_ptr[static_cast<std::size_t>(r) + 1] -
+        row_ptr[static_cast<std::size_t>(r)];
+  std::sort(lens.begin(), lens.end());
+  const auto at = [&](double q) {
+    const auto i = static_cast<std::size_t>(
+        q * static_cast<double>(lens.size() - 1));
+    return lens[i];
+  };
+  p.p50 = at(0.50);
+  p.p90 = at(0.90);
+  p.p99 = at(0.99);
+  p.max = lens.back();
+  p.avg = static_cast<double>(row_ptr[static_cast<std::size_t>(rows)]) /
+          static_cast<double>(rows);
+  return p;
+}
+
+template <class T>
+TuneFeatures extract_features(const Csr<T>& a, const Csr<T>& b,
+                              std::size_t sample_stride,
+                              std::size_t min_samples) {
+  TuneFeatures f;
+  f.rows_a = a.rows;
+  f.cols_a = a.cols;
+  f.rows_b = b.rows;
+  f.cols_b = b.cols;
+  f.nnz_a = a.nnz();
+  f.nnz_b = b.nnz();
+  f.a_rows = row_length_profile(a.row_ptr, a.rows);
+  f.b_rows = row_length_profile(b.row_ptr, b.rows);
+
+  const auto nnz = static_cast<std::size_t>(f.nnz_a);
+  std::size_t stride = std::max<std::size_t>(1, sample_stride);
+  if (min_samples > 0 && nnz > 0)
+    stride = std::min(stride, std::max<std::size_t>(1, nnz / min_samples));
+  f.stride = stride;
+  f.products_exact = stride == 1;
+
+  // Strided sample of A's column ids against B's row lengths. The scaled
+  // sum is the expected-value estimate; the conservative variant charges
+  // each window the larger of its two bounding samples, so locally heavy
+  // stretches of B rows are not diluted by the stride.
+  f.sampled_b_lens.reserve(nnz / stride + 1);
+  double sum = 0.0, upper = 0.0;
+  index_t prev = 0;
+  for (std::size_t i = 0; i < nnz; i += stride) {
+    const index_t blen = b.row_length(a.col_idx[i]);
+    f.sampled_b_lens.push_back(blen);
+    sum += static_cast<double>(blen);
+    const std::size_t window = std::min(stride, nnz - i);
+    upper += static_cast<double>(std::max(prev, blen)) *
+             static_cast<double>(window);
+    prev = blen;
+  }
+  f.sampled = f.sampled_b_lens.size();
+  f.est_products = f.products_exact ? sum : sum * static_cast<double>(stride);
+  f.est_products_upper = f.products_exact ? sum : upper;
+  std::sort(f.sampled_b_lens.begin(), f.sampled_b_lens.end());
+  return f;
+}
+
+template TuneFeatures extract_features(const Csr<float>&, const Csr<float>&,
+                                       std::size_t, std::size_t);
+template TuneFeatures extract_features(const Csr<double>&, const Csr<double>&,
+                                       std::size_t, std::size_t);
+
+}  // namespace acs::tune

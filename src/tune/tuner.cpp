@@ -1,0 +1,117 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace acs::tune {
+
+const char* to_string(TuningMode mode) {
+  switch (mode) {
+    case TuningMode::kOff: return "off";
+    case TuningMode::kStaticCostModel: return "static-cost-model";
+    case TuningMode::kFeedback: return "feedback";
+  }
+  return "?";
+}
+
+bool fits_device(const Config& cfg, std::size_t value_bytes) {
+  if (cfg.threads <= 0 || cfg.nnz_per_block <= 0 ||
+      cfg.elements_per_thread <= 0)
+    return false;
+  if (cfg.retain_per_thread < 0 ||
+      cfg.retain_per_thread >= cfg.elements_per_thread)
+    return false;
+  if (cfg.temp_capacity() > 32767) return false;  // 15-bit compaction counters
+  // Mirror Pipeline::validate's scratchpad layout (same order, same
+  // alignment padding as sim::Scratchpad::allocate).
+  const auto cap = static_cast<std::size_t>(cfg.temp_capacity());
+  std::size_t used = 0;
+  const auto alloc = [&](std::size_t count, std::size_t size,
+                         std::size_t align) {
+    used = (used + align - 1) / align * align + count * size;
+  };
+  alloc(cap, sizeof(std::uint64_t), alignof(std::uint64_t));  // sort keys
+  alloc(cap, value_bytes, value_bytes);                       // sort values
+  alloc(static_cast<std::size_t>(cfg.nnz_per_block) + 1, sizeof(offset_t),
+        alignof(offset_t));                                   // WD offsets
+  alloc(cap, sizeof(std::uint32_t), alignof(std::uint32_t));  // scan states
+  return used <= static_cast<std::size_t>(cfg.device.scratchpad_bytes);
+}
+
+namespace {
+
+/// Deterministic tie-break: prefer the lexicographically smaller parameter
+/// tuple so equal-cost candidates rank identically everywhere.
+std::tuple<int, int, index_t, int> key_of(const TunedParams& p) {
+  return {p.nnz_per_block, p.retain_per_thread, p.long_row_threshold,
+          p.path_merge_max_chunks};
+}
+
+template <class Vec, class V>
+void push_unique(Vec& v, V value) {
+  if (std::find(v.begin(), v.end(), value) == v.end()) v.push_back(value);
+}
+
+}  // namespace
+
+std::vector<Candidate> AutoTuner::rank(const TuneFeatures& f,
+                                       const Config& base,
+                                       std::size_t value_bytes,
+                                       double products_override) const {
+  // Each axis always contains the base Config's own value, so the identity
+  // overlay is in the grid and tuning can never model-predict worse than
+  // the default.
+  std::vector<int> npbs = opts_.nnz_per_block;
+  push_unique(npbs, base.nnz_per_block);
+  std::vector<int> retains = opts_.retain_per_thread;
+  push_unique(retains, base.retain_per_thread);
+  std::vector<int> pmcs = opts_.path_merge_max_chunks;
+  push_unique(pmcs, base.path_merge_max_chunks);
+  std::vector<index_t> thresholds{base.long_row_threshold};
+  if (opts_.tune_long_row_threshold && base.long_row_handling) {
+    push_unique(thresholds, index_t{0});  // auto (= temp_capacity())
+    if (f.b_rows.p90 > 0) push_unique(thresholds, f.b_rows.p90);
+    if (f.b_rows.p99 > 0) push_unique(thresholds, f.b_rows.p99);
+  }
+
+  std::vector<Candidate> out;
+  out.reserve(npbs.size() * retains.size() * thresholds.size() * pmcs.size());
+  for (int npb : npbs) {
+    for (int retain : retains) {
+      for (index_t threshold : thresholds) {
+        for (int pmc : pmcs) {
+          Candidate c;
+          c.params.nnz_per_block = npb;
+          c.params.retain_per_thread = retain;
+          c.params.long_row_threshold = threshold;
+          c.params.path_merge_max_chunks = pmc;
+          c.params.valid = true;
+          Config cfg = base;
+          c.params.apply(cfg);
+          if (!fits_device(cfg, value_bytes)) continue;
+          c.cost = predict_cost(f, cfg, value_bytes, products_override);
+          out.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  const bool by_work = opts_.objective == TuneObjective::kThroughput;
+  std::sort(out.begin(), out.end(),
+            [by_work](const Candidate& x, const Candidate& y) {
+              const double cx = by_work ? x.cost.serial_s : x.cost.total_s;
+              const double cy = by_work ? y.cost.serial_s : y.cost.total_s;
+              if (cx != cy) return cx < cy;
+              return key_of(x.params) < key_of(y.params);
+            });
+  return out;
+}
+
+TunedParams AutoTuner::choose(const TuneFeatures& f, const Config& base,
+                              std::size_t value_bytes,
+                              double products_override) const {
+  auto ranked = rank(f, base, value_bytes, products_override);
+  if (ranked.empty()) return {};
+  return ranked.front().params;
+}
+
+}  // namespace acs::tune

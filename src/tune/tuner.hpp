@@ -1,0 +1,114 @@
+#pragma once
+/// \file tuner.hpp
+/// Cost-model-driven auto-tuner for per-multiply parameters. Given the
+/// structural features of a job (features.hpp) it enumerates a candidate
+/// grid over `nnz_per_block`, the retained-element budget, the long-row
+/// threshold and the Path/Search merge cutoff, rejects candidates that
+/// would overflow the scratchpad (the same feasibility check
+/// Pipeline::validate enforces at run time), prices the survivors through
+/// the predictor (predictor.hpp → sim::cost_model) and returns the
+/// cheapest as a `TunedParams` overlay for `SpgemmPlan::tuned`.
+///
+/// Determinism: ranking is a pure function of (features, base config,
+/// value width) — no clocks, no RNG, no measured times — and ties break on
+/// the candidate's parameter tuple, so every run, worker and scheduler
+/// interleaving picks the same winner. The feedback mode only swaps the
+/// *product-count input* from a sampled estimate to the exact measured
+/// `SpgemmStats::intermediate_products`, which is itself structural, so
+/// refined choices are equally deterministic (DESIGN.md §9).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/plan.hpp"
+#include "tune/features.hpp"
+#include "tune/predictor.hpp"
+
+namespace acs::tune {
+
+/// How the runtime engine tunes per-job parameters (EngineConfig::tuning).
+enum class TuningMode {
+  /// No tuning: every job runs the submitted Config verbatim.
+  kOff = 0,
+  /// Rank candidates once per structure fingerprint from sampled features;
+  /// the choice is cached on the plan and replayed on every hit.
+  kStaticCostModel,
+  /// Like kStaticCostModel, plus one re-ranking per fingerprint after the
+  /// first run replaces the sampled product estimate with the exact
+  /// measured count.
+  kFeedback,
+};
+
+[[nodiscard]] const char* to_string(TuningMode mode);
+
+/// What the tuner minimizes. The two differ whenever a decomposition trades
+/// per-block overhead against device occupancy: small matrices fill the
+/// SMs better with many small blocks (lower makespan) but burn more total
+/// block time doing it (more work).
+enum class TuneObjective {
+  /// Minimize total work (`CostBreakdown::serial_s`). The right objective
+  /// for the batch engine, whose jobs/s is bounded by the work its workers
+  /// chew through — independent jobs already keep every slot busy, so one
+  /// job's internal parallelism buys nothing.
+  kThroughput = 0,
+  /// Minimize single-multiply device makespan (`CostBreakdown::total_s`) —
+  /// the paper's setting: one SpGEMM at a time on an idle device.
+  kLatency,
+};
+
+/// Candidate grids and sampling parameters of the tuner. Grids hold the
+/// values tried for each knob; the base Config's own value is always added,
+/// so tuning can never do worse than the default *under the model*.
+struct TunerOptions {
+  TuneObjective objective = TuneObjective::kThroughput;
+  std::vector<int> nnz_per_block = {128, 256, 512, 1024};
+  std::vector<int> retain_per_thread = {2, 4, 6};
+  std::vector<int> path_merge_max_chunks = {4, 8, 16};
+  /// Also try long-row thresholds derived from B's row-length quantiles
+  /// (p90, p99) next to the base setting and "auto".
+  bool tune_long_row_threshold = true;
+  /// Feature-extraction sampling (see extract_features).
+  std::size_t sample_stride = 8;
+  std::size_t min_samples = 512;
+};
+
+/// One priced candidate: the parameter overlay plus its predicted profile.
+struct Candidate {
+  TunedParams params;
+  CostBreakdown cost;
+};
+
+/// True when `cfg` passes the device-feasibility constraints that
+/// Pipeline::validate would enforce: positive block geometry, retain <
+/// elements_per_thread, 15-bit compaction counters, and the ESC working
+/// set (keys + values + work-distribution offsets + states) fitting the
+/// scratchpad. `value_bytes` = sizeof of the value type.
+[[nodiscard]] bool fits_device(const Config& cfg, std::size_t value_bytes);
+
+class AutoTuner {
+ public:
+  explicit AutoTuner(TunerOptions opts = {}) : opts_(std::move(opts)) {}
+
+  [[nodiscard]] const TunerOptions& options() const { return opts_; }
+
+  /// Price every feasible candidate for a job with features `f` under the
+  /// base configuration, cheapest first (ties broken on the parameter
+  /// tuple). `products_override` > 0 substitutes an exact measured product
+  /// count for `f.est_products` (the feedback path). Never empty as long
+  /// as the base configuration itself is feasible.
+  [[nodiscard]] std::vector<Candidate> rank(
+      const TuneFeatures& f, const Config& base, std::size_t value_bytes,
+      double products_override = 0.0) const;
+
+  /// The winning overlay (`rank(...)[0].params`), or an invalid
+  /// TunedParams when no candidate fits the device.
+  [[nodiscard]] TunedParams choose(const TuneFeatures& f, const Config& base,
+                                   std::size_t value_bytes,
+                                   double products_override = 0.0) const;
+
+ private:
+  TunerOptions opts_;
+};
+
+}  // namespace acs::tune

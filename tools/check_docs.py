@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Documentation drift checks (CI docs job; stdlib only).
+
+1. Markdown link check: every relative link target in the repo's *.md
+   files must exist on disk (anchors and external URLs are skipped).
+2. Config/EngineConfig drift check, both directions:
+   * every `Config`/`EngineConfig` member named in README.md, DESIGN.md or
+     docs/ARCHITECTURE.md — via ``Struct::field`` references or a row of
+     the README parameter tables — must still exist in the headers
+     (src/core/config.hpp, src/runtime/engine.hpp), so renames/removals
+     cannot leave stale docs behind;
+   * every field of the two structs must appear in README.md, so new
+     knobs cannot ship undocumented.
+
+Exit code 0 = docs in sync; 1 = drift, with one line per finding.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = ["README.md", "DESIGN.md", "docs/ARCHITECTURE.md"]
+SKIP_DIRS = {"build", "build-asan", "build-tsan", ".git"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+REF_RE = re.compile(r"`(Config|EngineConfig)::(\w+)`")
+TABLE_ROW_RE = re.compile(r"^\|\s*`(\w+)`\s*\|")
+
+
+def parse_struct_members(header: Path, struct_name: str) -> set[str]:
+    """Member fields and methods of `struct <name> {...};` (brace-counted)."""
+    text = header.read_text()
+    start = text.find(f"struct {struct_name} {{")
+    if start < 0:
+        sys.exit(f"error: struct {struct_name} not found in {header}")
+    depth = 0
+    body_lines: list[str] = []
+    for line in text[start:].splitlines():
+        depth += line.count("{") - line.count("}")
+        body_lines.append(line)
+        if depth == 0 and body_lines[1:]:
+            break
+    members: set[str] = set()
+    for line in body_lines[1:]:
+        stripped = line.split("//")[0].strip()
+        # methods:  [[nodiscard]] int temp_capacity() const { ... }
+        m = re.match(r"(?:\[\[nodiscard\]\]\s*)?[\w:<>,\s*&]+?\b(\w+)\s*\(",
+                     stripped)
+        if m and not stripped.startswith(("if", "for", "return", "friend")):
+            members.add(m.group(1))
+            continue
+        # fields:   int threads = 256;   sim::DeviceConfig device{};
+        m = re.match(r"[\w:<>,\s*&]+?\b(\w+)\s*(?:=[^;]*|\{\s*\})?;$", stripped)
+        if m:
+            members.add(m.group(1))
+            continue
+        # continuation line of a multi-line declaration:  make_alloc_policy;
+        m = re.match(r"^(\w+)\s*;$", stripped)
+        if m:
+            members.add(m.group(1))
+    return members
+
+
+def doc_field_references(path: Path) -> list[tuple[str, str, int]]:
+    """(struct, field, line) references found in one doc file."""
+    refs: list[tuple[str, str, int]] = []
+    current_table: str | None = None
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for struct, field in REF_RE.findall(line):
+            refs.append((struct, field, lineno))
+        # README parameter tables: track which struct the table documents.
+        if "`acs::Config`" in line or "(`acs::Config`" in line:
+            current_table = "Config"
+        elif "EngineConfig" in line and "`acs::runtime::EngineConfig`" in line:
+            current_table = "EngineConfig"
+        elif line.startswith("## ") or line.startswith("**"):
+            pass  # section prose does not end a table by itself
+        m = TABLE_ROW_RE.match(line)
+        if m and current_table and m.group(1) not in ("field",):
+            refs.append((current_table, m.group(1), lineno))
+        if current_table and line.strip() == "" and refs and \
+                TABLE_ROW_RE.match(line) is None and \
+                any(r[2] == lineno - 1 and r[0] == current_table
+                    for r in refs):
+            current_table = None  # blank line after table rows ends the table
+    return refs
+
+
+def check_links() -> list[str]:
+    errors = []
+    for md in sorted(REPO.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in md.relative_to(REPO).parts):
+            continue
+        for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = (md.parent / target.split("#")[0]).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{md.relative_to(REPO)}:{lineno}: broken link "
+                        f"-> {target}")
+    return errors
+
+
+def check_drift() -> list[str]:
+    errors = []
+    members = {
+        "Config": parse_struct_members(REPO / "src/core/config.hpp", "Config"),
+        "EngineConfig": parse_struct_members(
+            REPO / "src/runtime/engine.hpp", "EngineConfig"),
+    }
+    documented: dict[str, set[str]] = {"Config": set(), "EngineConfig": set()}
+    for rel in DOC_FILES:
+        path = REPO / rel
+        if not path.exists():
+            errors.append(f"{rel}: required doc file missing")
+            continue
+        for struct, field, lineno in doc_field_references(path):
+            documented[struct].add(field)
+            if field not in members[struct]:
+                errors.append(
+                    f"{rel}:{lineno}: documents {struct}::{field}, which no "
+                    f"longer exists in the header")
+    # Completeness: every real field must be documented in the README tables.
+    readme_refs = {f for _, f, _ in doc_field_references(REPO / "README.md")}
+    for struct, fields in members.items():
+        for field in sorted(fields):
+            if field not in readme_refs and field not in documented[struct]:
+                errors.append(
+                    f"README.md: {struct}::{field} exists in the header but "
+                    f"is documented nowhere")
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_drift()
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("check_docs: links and Config/EngineConfig docs are in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
