@@ -25,8 +25,9 @@ acs::Csr<double> to_undirected(const acs::Csr<double>& g) {
   coo.rows = g.rows;
   coo.cols = g.cols;
   for (acs::index_t r = 0; r < g.rows; ++r) {
-    for (acs::index_t k = g.row_ptr[r]; k < g.row_ptr[r + 1]; ++k) {
-      const acs::index_t c = g.col_idx[k];
+    for (acs::index_t k = g.row_ptr[acs::usize(r)];
+         k < g.row_ptr[acs::usize(r) + 1]; ++k) {
+      const acs::index_t c = g.col_idx[acs::usize(k)];
       if (c == r) continue;
       coo.push(r, c, 1.0);
       coo.push(c, r, 1.0);
@@ -55,13 +56,14 @@ int main(int argc, char** argv) {
   const auto a2 = acs::multiply(a, a, acs::Config{}, &stats);
   double closed_wedges = 0.0;
   for (acs::index_t r = 0; r < a.rows; ++r) {
-    acs::index_t ka = a.row_ptr[r], k2 = a2.row_ptr[r];
-    while (ka < a.row_ptr[r + 1] && k2 < a2.row_ptr[r + 1]) {
-      if (a.col_idx[ka] == a2.col_idx[k2]) {
-        closed_wedges += a2.values[k2];
+    acs::index_t ka = a.row_ptr[acs::usize(r)], k2 = a2.row_ptr[acs::usize(r)];
+    while (ka < a.row_ptr[acs::usize(r) + 1] &&
+           k2 < a2.row_ptr[acs::usize(r) + 1]) {
+      if (a.col_idx[acs::usize(ka)] == a2.col_idx[acs::usize(k2)]) {
+        closed_wedges += a2.values[acs::usize(k2)];
         ++ka;
         ++k2;
-      } else if (a.col_idx[ka] < a2.col_idx[k2]) {
+      } else if (a.col_idx[acs::usize(ka)] < a2.col_idx[acs::usize(k2)]) {
         ++ka;
       } else {
         ++k2;
@@ -77,12 +79,16 @@ int main(int argc, char** argv) {
   auto d2_cycles = 0, d3_cycles = 0;
   const auto d2 = acs::multiply(directed, directed);
   for (acs::index_t r = 0; r < d2.rows; ++r)
-    for (acs::index_t k = d2.row_ptr[r]; k < d2.row_ptr[r + 1]; ++k)
-      if (d2.col_idx[k] == r && d2.values[k] != 0.0) ++d2_cycles;
+    for (acs::index_t k = d2.row_ptr[acs::usize(r)];
+         k < d2.row_ptr[acs::usize(r) + 1]; ++k)
+      if (d2.col_idx[acs::usize(k)] == r && d2.values[acs::usize(k)] != 0.0)
+        ++d2_cycles;
   const auto d3 = acs::multiply(d2, directed);
   for (acs::index_t r = 0; r < d3.rows; ++r)
-    for (acs::index_t k = d3.row_ptr[r]; k < d3.row_ptr[r + 1]; ++k)
-      if (d3.col_idx[k] == r && d3.values[k] != 0.0) ++d3_cycles;
+    for (acs::index_t k = d3.row_ptr[acs::usize(r)];
+         k < d3.row_ptr[acs::usize(r) + 1]; ++k)
+      if (d3.col_idx[acs::usize(k)] == r && d3.values[acs::usize(k)] != 0.0)
+        ++d3_cycles;
   std::cout << "vertices on directed 2-cycles: " << d2_cycles << "\n";
   std::cout << "vertices on directed 3-cycles: " << d3_cycles << "\n";
 

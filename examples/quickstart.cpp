@@ -45,8 +45,10 @@ int main(int argc, char** argv) {
   std::cout << "simulated GPU time: " << stats.sim_time_s * 1e3 << " ms  ("
             << stats.gflops() << " GFLOPS)\n";
   std::cout << "restarts: " << stats.restarts
-            << ", chunk pool used: " << stats.pool_used_bytes / 1024.0 / 1024.0
-            << " MB of " << stats.pool_bytes / 1024.0 / 1024.0
+            << ", chunk pool used: "
+            << static_cast<double>(stats.pool_used_bytes) / 1024.0 / 1024.0
+            << " MB of "
+            << static_cast<double>(stats.pool_bytes) / 1024.0 / 1024.0
             << " MB allocated\n";
   std::cout << "stage trace (src/trace observability layer):\n"
             << acs::trace::to_table(session);

@@ -95,7 +95,7 @@ Csr<T> cusparse_like_multiply(const Csr<T>& a, const Csr<T>& b,
   if (rows_in_block > 0) blocks.push_back(bm);
 
   for (index_t r = 0; r < a.rows; ++r)
-    c.row_ptr[static_cast<std::size_t>(r) + 1] += c.row_ptr[r];
+    c.row_ptr[usize(r) + 1] += c.row_ptr[usize(r)];
   for (index_t r = 0; r < a.rows; ++r) {
     c.col_idx.insert(c.col_idx.end(), row_cols[static_cast<std::size_t>(r)].begin(),
                      row_cols[static_cast<std::size_t>(r)].end());

@@ -25,11 +25,11 @@ template <class T>
 void gather_row_products(const Csr<T>& a, const Csr<T>& b, index_t r,
                          std::vector<Product<T>>& out) {
   out.clear();
-  for (index_t ka = a.row_ptr[r]; ka < a.row_ptr[r + 1]; ++ka) {
-    const index_t k = a.col_idx[ka];
-    const T av = a.values[ka];
-    for (index_t kb = b.row_ptr[k]; kb < b.row_ptr[k + 1]; ++kb)
-      out.push_back({b.col_idx[kb], av * b.values[kb]});
+  for (index_t ka = a.row_ptr[usize(r)]; ka < a.row_ptr[usize(r) + 1]; ++ka) {
+    const index_t k = a.col_idx[usize(ka)];
+    const T av = a.values[usize(ka)];
+    for (index_t kb = b.row_ptr[usize(k)]; kb < b.row_ptr[usize(k) + 1]; ++kb)
+      out.push_back({b.col_idx[usize(kb)], av * b.values[usize(kb)]});
   }
 }
 
@@ -49,7 +49,7 @@ template <class T>
 void permute_schedule(std::vector<Product<T>>& prods, std::uint64_t seed,
                       index_t row) {
   if (seed == 0 || prods.size() < 2) return;
-  std::uint64_t state = splitmix64(seed ^ (0x517CC1B727220A95ull *
+  std::uint64_t state = splitmix64(seed ^ (std::uint64_t{0x517CC1B727220A95} *
                                            static_cast<std::uint64_t>(row + 1)));
   for (std::size_t i = prods.size() - 1; i > 0; --i) {
     state = splitmix64(state);

@@ -31,11 +31,13 @@ Csr<T> esc_global_multiply(const Csr<T>& a, const Csr<T>& b,
   expand.global_bytes_coalesced +=
       static_cast<std::uint64_t>(a.nnz()) * (sizeof(index_t) + sizeof(T));
   for (index_t r = 0; r < a.rows; ++r) {
-    for (index_t ka = a.row_ptr[r]; ka < a.row_ptr[r + 1]; ++ka) {
-      const index_t k = a.col_idx[ka];
-      const T av = a.values[ka];
-      for (index_t kb = b.row_ptr[k]; kb < b.row_ptr[k + 1]; ++kb)
-        temps.push_back({r, b.col_idx[kb], av * b.values[kb]});
+    for (index_t ka = a.row_ptr[usize(r)]; ka < a.row_ptr[usize(r) + 1];
+         ++ka) {
+      const index_t k = a.col_idx[usize(ka)];
+      const T av = a.values[usize(ka)];
+      for (index_t kb = b.row_ptr[usize(k)]; kb < b.row_ptr[usize(k) + 1];
+           ++kb)
+        temps.push_back({r, b.col_idx[usize(kb)], av * b.values[usize(kb)]});
       expand.global_bytes_scattered += 32;  // B row segment start
       expand.global_bytes_coalesced +=
           static_cast<std::uint64_t>(b.row_length(k)) *
@@ -88,7 +90,7 @@ Csr<T> esc_global_multiply(const Csr<T>& a, const Csr<T>& b,
     i = j;
   }
   for (index_t r = 0; r < a.rows; ++r)
-    c.row_ptr[static_cast<std::size_t>(r) + 1] += c.row_ptr[r];
+    c.row_ptr[usize(r) + 1] += c.row_ptr[usize(r)];
   compress.global_bytes_coalesced +=
       static_cast<std::uint64_t>(c.nnz()) * (sizeof(index_t) + sizeof(T));
 

@@ -165,9 +165,9 @@ Csr<T> nsparse_multiply(const Csr<T>& a, const Csr<T>& b, SpgemmStats* stats,
 
   // Assemble C.
   for (index_t r = 0; r < a.rows; ++r)
-    c.row_ptr[static_cast<std::size_t>(r) + 1] += c.row_ptr[r];
-  c.col_idx.reserve(static_cast<std::size_t>(c.row_ptr[a.rows]));
-  c.values.reserve(static_cast<std::size_t>(c.row_ptr[a.rows]));
+    c.row_ptr[usize(r) + 1] += c.row_ptr[usize(r)];
+  c.col_idx.reserve(static_cast<std::size_t>(c.row_ptr[usize(a.rows)]));
+  c.values.reserve(static_cast<std::size_t>(c.row_ptr[usize(a.rows)]));
   for (index_t r = 0; r < a.rows; ++r) {
     c.col_idx.insert(c.col_idx.end(), row_cols[static_cast<std::size_t>(r)].begin(),
                      row_cols[static_cast<std::size_t>(r)].end());

@@ -45,11 +45,12 @@ std::pair<Csr<T>, Csr<T>> split_factor(const Csr<T>& m, index_t k) {
   lo.values.reserve(m.values.size());
   index_t g = 0;
   for (index_t r = 0; r < m.rows; ++r) {
-    for (index_t off = m.row_ptr[r]; off < m.row_ptr[r + 1]; off += k) {
-      const index_t end = std::min(m.row_ptr[r + 1], off + k);
+    for (index_t off = m.row_ptr[usize(r)]; off < m.row_ptr[usize(r) + 1];
+         off += k) {
+      const index_t end = std::min(m.row_ptr[usize(r) + 1], off + k);
       for (index_t i = off; i < end; ++i) {
-        lo.col_idx.push_back(m.col_idx[i]);
-        lo.values.push_back(m.values[i]);
+        lo.col_idx.push_back(m.col_idx[usize(i)]);
+        lo.values.push_back(m.values[usize(i)]);
       }
       ++g;
       lo.row_ptr[static_cast<std::size_t>(g)] =
@@ -77,11 +78,13 @@ Csr<T> merge_pass(const Csr<T>& f, const Csr<T>& x, int k,
   std::vector<std::pair<index_t, T>> buf;
   for (index_t r = 0; r < f.rows; ++r) {
     buf.clear();
-    for (index_t ka = f.row_ptr[r]; ka < f.row_ptr[r + 1]; ++ka) {
-      const index_t src = f.col_idx[ka];
-      const T fv = f.values[ka];
-      for (index_t kb = x.row_ptr[src]; kb < x.row_ptr[src + 1]; ++kb)
-        buf.emplace_back(x.col_idx[kb], fv * x.values[kb]);
+    for (index_t ka = f.row_ptr[usize(r)]; ka < f.row_ptr[usize(r) + 1];
+         ++ka) {
+      const index_t src = f.col_idx[usize(ka)];
+      const T fv = f.values[usize(ka)];
+      for (index_t kb = x.row_ptr[usize(src)]; kb < x.row_ptr[usize(src) + 1];
+           ++kb)
+        buf.emplace_back(x.col_idx[usize(kb)], fv * x.values[usize(kb)]);
       // Each lane streams one source row: the per-lane streams are
       // sequential but mutually scattered, so a quarter of the traffic
       // misses coalescing.

@@ -23,12 +23,14 @@ Csr<T> spa_multiply(const Csr<T>& a, const Csr<T>& b, SpgemmStats* stats) {
   offset_t total = 0;
   for (index_t r = 0; r < a.rows; ++r) {
     index_t count = 0;
-    for (index_t ka = a.row_ptr[r]; ka < a.row_ptr[r + 1]; ++ka) {
-      const index_t k = a.col_idx[ka];
-      for (index_t kb = b.row_ptr[k]; kb < b.row_ptr[k + 1]; ++kb) {
-        const index_t col = b.col_idx[kb];
-        if (marker[static_cast<std::size_t>(col)] != r) {
-          marker[static_cast<std::size_t>(col)] = r;
+    for (index_t ka = a.row_ptr[usize(r)]; ka < a.row_ptr[usize(r) + 1];
+         ++ka) {
+      const index_t k = a.col_idx[usize(ka)];
+      for (index_t kb = b.row_ptr[usize(k)]; kb < b.row_ptr[usize(k) + 1];
+           ++kb) {
+        const index_t col = b.col_idx[usize(kb)];
+        if (marker[usize(col)] != r) {
+          marker[usize(col)] = r;
           ++count;
         }
       }
@@ -49,26 +51,27 @@ Csr<T> spa_multiply(const Csr<T>& a, const Csr<T>& b, SpgemmStats* stats) {
   std::vector<index_t> touched;
   for (index_t r = 0; r < a.rows; ++r) {
     touched.clear();
-    for (index_t ka = a.row_ptr[r]; ka < a.row_ptr[r + 1]; ++ka) {
-      const index_t k = a.col_idx[ka];
-      const T av = a.values[ka];
-      for (index_t kb = b.row_ptr[k]; kb < b.row_ptr[k + 1]; ++kb) {
-        const index_t col = b.col_idx[kb];
-        if (marker[static_cast<std::size_t>(col)] != r) {
-          marker[static_cast<std::size_t>(col)] = r;
-          accum[static_cast<std::size_t>(col)] = av * b.values[kb];
+    for (index_t ka = a.row_ptr[usize(r)]; ka < a.row_ptr[usize(r) + 1];
+         ++ka) {
+      const index_t k = a.col_idx[usize(ka)];
+      const T av = a.values[usize(ka)];
+      for (index_t kb = b.row_ptr[usize(k)]; kb < b.row_ptr[usize(k) + 1];
+           ++kb) {
+        const index_t col = b.col_idx[usize(kb)];
+        if (marker[usize(col)] != r) {
+          marker[usize(col)] = r;
+          accum[usize(col)] = av * b.values[usize(kb)];
           touched.push_back(col);
         } else {
-          accum[static_cast<std::size_t>(col)] += av * b.values[kb];
+          accum[usize(col)] += av * b.values[usize(kb)];
         }
       }
     }
     std::sort(touched.begin(), touched.end());
-    index_t out = c.row_ptr[r];
+    index_t out = c.row_ptr[usize(r)];
     for (index_t col : touched) {
-      c.col_idx[static_cast<std::size_t>(out)] = col;
-      c.values[static_cast<std::size_t>(out)] =
-          accum[static_cast<std::size_t>(col)];
+      c.col_idx[usize(out)] = col;
+      c.values[usize(out)] = accum[usize(col)];
       ++out;
     }
   }

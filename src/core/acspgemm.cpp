@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/esc_block.hpp"
+#include "core/invariants.hpp"  // compile-time proofs ride every build
 #include "core/merge.hpp"
 #include "matrix/stats.hpp"
 #include "sim/cost_model.hpp"
@@ -174,8 +175,8 @@ class Pipeline {
     block_row_starts_.assign(num_blocks_, 0);
     // Sequential equivalent of Algorithm 1's one-thread-per-row pass.
     for (index_t row = 0; row < a_.rows; ++row) {
-      const offset_t lo = a_.row_ptr[row];
-      const offset_t hi = a_.row_ptr[static_cast<std::size_t>(row) + 1];
+      const offset_t lo = a_.row_ptr[usize(row)];
+      const offset_t hi = a_.row_ptr[usize(row) + 1];
       if (lo == hi) continue;
       offset_t blk = divup<offset_t>(lo, cfg_.nnz_per_block);
       const offset_t blk_end = (hi - 1) / cfg_.nnz_per_block;
@@ -316,8 +317,11 @@ class Pipeline {
       auto& rows = acs_trace.counters().merge_case_rows;
       std::uint64_t multi_rows = 0;
       for (const MergeBatch& batch : multi) multi_rows += batch.rows.size();
+      // mo: trace counters; consumers snapshot them after the run joins.
       rows[trace::kMultiMerge].fetch_add(multi_rows, std::memory_order_relaxed);
+      // mo: same as above.
       rows[trace::kPathMerge].fetch_add(path.size(), std::memory_order_relaxed);
+      // mo: same as above.
       rows[trace::kSearchMerge].fetch_add(search.size(),
                                           std::memory_order_relaxed);
     });
@@ -417,14 +421,14 @@ class Pipeline {
     // block of threads to copy data in a coalesced fashion").
     std::vector<bool> chunk_live(chunks_.size(), false);
     for (index_t r = 0; r < a_.rows; ++r) {
-      auto& segs = segments_[static_cast<std::size_t>(r)];
-      index_t out = c.row_ptr[r];
+      auto& segs = segments_[usize(r)];
+      index_t out = c.row_ptr[usize(r)];
       for (const RowSegment& seg : segs) {
         const Chunk<T>& chunk = chunks_[seg.chunk];
         chunk_live[seg.chunk] = true;
         if (chunk.is_long_row) {
           // Unshared long row: materialize factor × row of B directly.
-          const index_t start = b_.row_ptr[chunk.b_row];
+          const index_t start = b_.row_ptr[usize(chunk.b_row)];
           for (index_t i = 0; i < chunk.long_len; ++i) {
             c.col_idx[static_cast<std::size_t>(out + i)] =
                 b_.col_idx[static_cast<std::size_t>(start + i)];

@@ -16,6 +16,15 @@
 
 namespace acs {
 
+/// Chunk-pool accounting constants (the paper's layout). Every materialized
+/// chunk pays a fixed header — start row, entry/row counts and the list
+/// link, padded to 32 B; a long-row pointer chunk is a fixed 48 B record
+/// (header + B-row reference, length and scale factor). The relationships
+/// between these and the payload element sizes are proven at compile time
+/// in core/invariants.hpp.
+inline constexpr std::size_t kChunkHeaderBytes = 32;
+inline constexpr std::size_t kPointerChunkBytes = 48;
+
 /// Deterministic global chunk order: block id + per-block running chunk
 /// number, the paper's replacement for the scheduler-dependent linked-list
 /// insertion order ("which yields a global ordering of chunks").
@@ -51,16 +60,16 @@ struct Chunk {
   T factor{};
   index_t long_len = 0;
 
-  [[nodiscard]] index_t entry_count() const {
+  [[nodiscard]] constexpr index_t entry_count() const {
     return is_long_row ? long_len : static_cast<index_t>(cols.size());
   }
 
   /// Bytes charged against the chunk pool: header (start row, counts, list
   /// link — 32 B as in the paper's layout), per-row boundaries, and the
-  /// column/value payload. Pointer chunks cost only the header.
-  [[nodiscard]] std::size_t byte_size() const {
-    if (is_long_row) return 48;
-    return 32 + rows.size() * sizeof(index_t) +
+  /// column/value payload. Pointer chunks cost only the fixed 48 B record.
+  [[nodiscard]] constexpr std::size_t byte_size() const {
+    if (is_long_row) return kPointerChunkBytes;
+    return kChunkHeaderBytes + rows.size() * sizeof(index_t) +
            cols.size() * (sizeof(index_t) + sizeof(T));
   }
 };
@@ -112,22 +121,33 @@ class ChunkPool {
   /// Reserve `bytes`; false means the pool is exhausted (restart needed) —
   /// either genuinely or because the installed policy denied the attempt.
   bool try_allocate(std::size_t bytes) {
+    // mo: pure counter ticket; nothing is published under this index.
     const std::uint64_t index =
         alloc_attempts_.fetch_add(1, std::memory_order_relaxed);
     if (AllocationPolicy* policy = policy_) {
       AllocationRequest req;
       req.index = index;
-      req.bytes = bytes;
+      // mo: advisory snapshots for the policy; staleness only shifts which
+      // mo: attempt a threshold policy denies, never correctness.
       req.used = used_.load(std::memory_order_relaxed);
-      req.capacity = capacity_.load(std::memory_order_relaxed);
+      req.capacity = capacity_.load(std::memory_order_relaxed);  // mo: ditto
+      req.bytes = bytes;
       if (!policy->allow(req)) {
+        // mo: stat counter, read after the run's blocks join.
         injected_denials_.fetch_add(1, std::memory_order_relaxed);
         return false;
       }
     }
+    // mo: advisory bound; a stale read only misorders a denial vs. a grow.
+    const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+    // mo: the RMW itself is the reservation — atomicity alone decides who
+    // mo: overshoots; chunk payloads are handed over via the scheduler's
+    // mo: joins, not through this counter.
     const std::size_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
-    if (prev + bytes > capacity_.load(std::memory_order_relaxed)) {
+    if (prev + bytes > cap) {
+      // mo: rollback of the same counter; same reasoning as the reserve.
       used_.fetch_sub(bytes, std::memory_order_relaxed);
+      // mo: stat counter, read after the run's blocks join.
       capacity_denials_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -136,6 +156,8 @@ class ChunkPool {
 
   /// Expand the pool ("as easy as adding another memory region").
   void grow(std::size_t bytes) {
+    // mo: called between rounds (no concurrent blocks); a late observer
+    // mo: merely retries via the restart protocol.
     capacity_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
@@ -146,24 +168,26 @@ class ChunkPool {
   void set_policy(AllocationPolicy* policy) { policy_ = policy; }
   [[nodiscard]] AllocationPolicy* policy() const { return policy_; }
 
+  // mo: every accessor below reads a monotonic counter for reporting; the
+  // mo: engine only consumes them after its blocks have joined.
   [[nodiscard]] std::size_t used() const {
-    return used_.load(std::memory_order_relaxed);
+    return used_.load(std::memory_order_relaxed);  // mo: see above
   }
   [[nodiscard]] std::size_t capacity() const {
-    return capacity_.load(std::memory_order_relaxed);
+    return capacity_.load(std::memory_order_relaxed);  // mo: see above
   }
   /// try_allocate calls so far, successful or not — the injection-point
   /// space a fault sweep enumerates.
   [[nodiscard]] std::uint64_t alloc_attempts() const {
-    return alloc_attempts_.load(std::memory_order_relaxed);
+    return alloc_attempts_.load(std::memory_order_relaxed);  // mo: see above
   }
   /// Denials issued by the installed policy (never by real exhaustion).
   [[nodiscard]] std::uint64_t injected_denials() const {
-    return injected_denials_.load(std::memory_order_relaxed);
+    return injected_denials_.load(std::memory_order_relaxed);  // mo: above
   }
   /// Denials from genuine capacity exhaustion.
   [[nodiscard]] std::uint64_t capacity_denials() const {
-    return capacity_denials_.load(std::memory_order_relaxed);
+    return capacity_denials_.load(std::memory_order_relaxed);  // mo: above
   }
 
  private:

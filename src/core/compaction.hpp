@@ -17,6 +17,8 @@
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -36,6 +38,25 @@ constexpr std::uint32_t kCounterMask = 0x7FFF;
 constexpr std::uint32_t kStateEndComp = 0x00020003;
 constexpr std::uint32_t kStateEndRow = 0x00030003;
 
+/// Compile-time mirrors of the packed-word arithmetic. The scan below and
+/// the proofs in core/invariants.hpp share these, so the bit layout the
+/// static_asserts certify is the one the algorithm actually runs.
+constexpr std::uint32_t pack_state(std::uint32_t row_count,
+                                   std::uint32_t total_count, bool combine_end,
+                                   bool row_end) {
+  return (combine_end ? kFlagCombineEnd : 0u) | (row_end ? kFlagRowEnd : 0u) |
+         ((row_count & kCounterMask) << kRowCountShift) |
+         ((total_count & kCounterMask) << kTotalCountShift);
+}
+
+constexpr std::uint32_t row_count_of(std::uint32_t state) {
+  return (state >> kRowCountShift) & kCounterMask;
+}
+
+constexpr std::uint32_t total_count_of(std::uint32_t state) {
+  return (state >> kTotalCountShift) & kCounterMask;
+}
+
 /// One element of the scan: sort key, value, packed state.
 template <class T>
 struct ScanElement {
@@ -49,9 +70,9 @@ struct ScanElement {
 /// so the low half of a's state is cleared; a's flag bits are always cleared
 /// so that only per-element flags survive in b's state.
 template <class T>
-ScanElement<T> combine_scan_operator(const ScanElement<T>& a,
-                                     const ScanElement<T>& b,
-                                     const KeyCodec& codec) {
+constexpr ScanElement<T> combine_scan_operator(const ScanElement<T>& a,
+                                               const ScanElement<T>& b,
+                                               const KeyCodec& codec) {
   std::uint32_t state;
   if (codec.same_row(a.key, b.key)) {
     state = a.state & ~(kFlagCombineEnd | kFlagRowEnd);
@@ -92,7 +113,17 @@ CompactionOutput<T> compact_sorted(std::span<const std::uint64_t> keys,
   namespace cd = compaction_detail;
   const std::size_t n = keys.size();
   assert(vals.size() == n);
-  assert(n <= cd::kCounterMask);  // 15-bit counters must not overflow
+  // The 15-bit counters silently wrap into the neighbouring flag/counter
+  // fields past kCounterMask, corrupting every extracted position — so the
+  // bound is enforced even under NDEBUG. Upstream, Pipeline::validate caps
+  // temp_capacity() and run_merge_block caps windows, so a throw here means
+  // a caller bypassed both (tests/test_invariants.cpp exercises the
+  // boundary from both sides).
+  if (n > cd::kCounterMask)
+    throw std::length_error(
+        "compact_sorted: " + std::to_string(n) +
+        " elements exceed the 15-bit scan counters (max " +
+        std::to_string(cd::kCounterMask) + ")");
 
   CompactionOutput<T> out;
   if (n == 0) return out;
@@ -127,16 +158,15 @@ CompactionOutput<T> compact_sorted(std::span<const std::uint64_t> keys,
     const bool row_end =
         (i + 1 == n) || !codec.same_row(keys[i + 1], keys[i]);
     if (combine_end) {
-      const std::uint32_t pos =
-          ((elems[i].state >> cd::kTotalCountShift) & cd::kCounterMask) - 1;
+      const std::uint32_t pos = cd::total_count_of(elems[i].state) - 1;
       assert(pos == out.keys.size());
       (void)pos;
       out.keys.push_back(elems[i].key);
       out.vals.push_back(elems[i].value);
     }
     if (row_end) {
-      const auto row_count = static_cast<index_t>(
-          (elems[i].state >> cd::kRowCountShift) & cd::kCounterMask);
+      const auto row_count =
+          static_cast<index_t>(cd::row_count_of(elems[i].state));
       out.rows.emplace_back(codec.row_of(keys[i]), row_count);
     }
   }

@@ -80,10 +80,14 @@ struct Config {
   sim::DeviceConfig device{};
 
   /// Temporary products held per block per ESC iteration.
-  [[nodiscard]] int temp_capacity() const { return threads * elements_per_thread; }
+  [[nodiscard]] constexpr int temp_capacity() const {
+    return threads * elements_per_thread;
+  }
   /// Maximum compacted elements carried to the next iteration.
-  [[nodiscard]] int retain_capacity() const { return threads * retain_per_thread; }
-  [[nodiscard]] index_t effective_long_row_threshold() const {
+  [[nodiscard]] constexpr int retain_capacity() const {
+    return threads * retain_per_thread;
+  }
+  [[nodiscard]] constexpr index_t effective_long_row_threshold() const {
     return long_row_threshold > 0 ? long_row_threshold
                                   : static_cast<index_t>(temp_capacity());
   }

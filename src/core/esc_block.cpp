@@ -30,11 +30,11 @@ Chunk<T> build_chunk(const CompactionOutput<T>& out, std::size_t row_count,
     entries += out.rows[i].second;
     chunk.row_offsets.push_back(entries);
   }
-  chunk.cols.reserve(entries);
-  chunk.vals.reserve(entries);
+  chunk.cols.reserve(usize(entries));
+  chunk.vals.reserve(usize(entries));
   for (index_t e = 0; e < entries; ++e) {
-    chunk.cols.push_back(codec.col_of(out.keys[static_cast<std::size_t>(e)]));
-    chunk.vals.push_back(out.vals[static_cast<std::size_t>(e)]);
+    chunk.cols.push_back(codec.col_of(out.keys[usize(e)]));
+    chunk.vals.push_back(out.vals[usize(e)]);
   }
   return chunk;
 }
@@ -201,7 +201,7 @@ EscBlockResult<T> run_esc_block(const Csr<T>& a, const Csr<T>& b,
     for (std::size_t i = 0; i < items.size(); ++i) {
       const auto [a_idx, b_off] = items[i];
       const index_t acol = a.col_idx[static_cast<std::size_t>(begin + a_idx)];
-      const index_t bk = b.row_ptr[acol] + b_off;
+      const index_t bk = b.row_ptr[usize(acol)] + b_off;
       const index_t bcol = b.col_idx[static_cast<std::size_t>(bk)];
       const T prod = a.values[static_cast<std::size_t>(begin + a_idx)] *
                      b.values[static_cast<std::size_t>(bk)];

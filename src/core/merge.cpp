@@ -42,7 +42,7 @@ Gathered<T> gather(const MergeBatch& batch, const std::vector<Chunk<T>>& chunks,
     for (const RowSegment& seg : batch.segments[r]) {
       const Chunk<T>& chunk = chunks[seg.chunk];
       if (chunk.is_long_row) {
-        const index_t start = b.row_ptr[chunk.b_row];
+        const index_t start = b.row_ptr[usize(chunk.b_row)];
         for (index_t i = 0; i < chunk.long_len; ++i) {
           g.lrow.push_back(static_cast<index_t>(r));
           g.col.push_back(b.col_idx[static_cast<std::size_t>(start + i)]);

@@ -18,9 +18,10 @@ class KeyCodec {
   /// Build a codec for local rows in [min_row, max_row] and columns in
   /// [min_col, max_col]. With `dynamic` off, the full static ranges
   /// [0, static_row_max] × [0, static_col_max] are encoded instead.
-  static KeyCodec make(index_t min_row, index_t max_row, index_t min_col,
-                       index_t max_col, bool dynamic, index_t static_row_max,
-                       index_t static_col_max) {
+  static constexpr KeyCodec make(index_t min_row, index_t max_row,
+                                 index_t min_col, index_t max_col, bool dynamic,
+                                 index_t static_row_max,
+                                 index_t static_col_max) {
     KeyCodec c;
     if (dynamic) {
       c.row_base_ = min_row;
@@ -36,30 +37,34 @@ class KeyCodec {
     return c;
   }
 
-  [[nodiscard]] std::uint64_t encode(index_t local_row, index_t col) const {
+  [[nodiscard]] constexpr std::uint64_t encode(index_t local_row,
+                                               index_t col) const {
     return (static_cast<std::uint64_t>(local_row - row_base_) << col_bits_) |
            static_cast<std::uint64_t>(col - col_base_);
   }
 
-  [[nodiscard]] index_t row_of(std::uint64_t key) const {
+  [[nodiscard]] constexpr index_t row_of(std::uint64_t key) const {
     return static_cast<index_t>(key >> col_bits_) + row_base_;
   }
 
-  [[nodiscard]] index_t col_of(std::uint64_t key) const {
+  [[nodiscard]] constexpr index_t col_of(std::uint64_t key) const {
     return static_cast<index_t>(key & ((std::uint64_t{1} << col_bits_) - 1)) +
            col_base_;
   }
 
-  [[nodiscard]] bool same_row(std::uint64_t a, std::uint64_t b) const {
+  [[nodiscard]] constexpr bool same_row(std::uint64_t a,
+                                        std::uint64_t b) const {
     return (a >> col_bits_) == (b >> col_bits_);
   }
 
   /// Total sorted bits — the quantity that drives radix-sort cost. The
   /// paper's example: 256 threads × 2 NNZ_PER_THREAD needs 9 row bits, so a
   /// 32-bit key covers matrices up to 2^23 columns.
-  [[nodiscard]] int total_bits() const { return row_bits_ + col_bits_; }
-  [[nodiscard]] int row_bits() const { return row_bits_; }
-  [[nodiscard]] int col_bits() const { return col_bits_; }
+  [[nodiscard]] constexpr int total_bits() const {
+    return row_bits_ + col_bits_;
+  }
+  [[nodiscard]] constexpr int row_bits() const { return row_bits_; }
+  [[nodiscard]] constexpr int col_bits() const { return col_bits_; }
 
  private:
   index_t row_base_ = 0;

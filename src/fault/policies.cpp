@@ -30,6 +30,7 @@ SeededProbabilisticPolicy::SeededProbabilisticPolicy(std::uint64_t seed,
 
 bool SeededProbabilisticPolicy::allow(const AllocationRequest& request) {
   if (mix64(seed_ ^ mix64(request.index)) >= threshold_) return true;
+  // mo: monotonic tally; read for reporting after the run joins.
   denials_.fetch_add(1, std::memory_order_relaxed);
   return false;
 }

@@ -29,16 +29,18 @@ namespace acs::fault {
 class CountingPolicy final : public AllocationPolicy {
  public:
   bool allow(const AllocationRequest& request) override {
+    // mo: monotonic tallies; read for reporting after the run joins.
     attempts_.fetch_add(1, std::memory_order_relaxed);
+    // mo: same as above.
     bytes_requested_.fetch_add(request.bytes, std::memory_order_relaxed);
     return true;
   }
 
   [[nodiscard]] std::uint64_t attempts() const {
-    return attempts_.load(std::memory_order_relaxed);
+    return attempts_.load(std::memory_order_relaxed);  // mo: post-join read
   }
   [[nodiscard]] std::uint64_t bytes_requested() const {
-    return bytes_requested_.load(std::memory_order_relaxed);
+    return bytes_requested_.load(std::memory_order_relaxed);  // mo: post-join
   }
 
  private:
@@ -55,12 +57,13 @@ class DenyNthPolicy final : public AllocationPolicy {
 
   bool allow(const AllocationRequest& request) override {
     if (request.index != n_) return true;
+    // mo: monotonic tally; read for reporting after the run joins.
     denials_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
   [[nodiscard]] std::uint64_t denials() const {
-    return denials_.load(std::memory_order_relaxed);
+    return denials_.load(std::memory_order_relaxed);  // mo: post-join read
   }
 
  private:
@@ -77,12 +80,13 @@ class DenyEveryKthPolicy final : public AllocationPolicy {
 
   bool allow(const AllocationRequest& request) override {
     if ((request.index + 1 + offset_) % k_ != 0) return true;
+    // mo: monotonic tally; read for reporting after the run joins.
     denials_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
   [[nodiscard]] std::uint64_t denials() const {
-    return denials_.load(std::memory_order_relaxed);
+    return denials_.load(std::memory_order_relaxed);  // mo: post-join read
   }
 
  private:
@@ -102,7 +106,7 @@ class SeededProbabilisticPolicy final : public AllocationPolicy {
   bool allow(const AllocationRequest& request) override;
 
   [[nodiscard]] std::uint64_t denials() const {
-    return denials_.load(std::memory_order_relaxed);
+    return denials_.load(std::memory_order_relaxed);  // mo: post-join read
   }
 
  private:

@@ -43,7 +43,7 @@ Csr<T> Coo<T>::to_csr() {
   m.row_ptr.assign(static_cast<std::size_t>(rows) + 1, 0);
   for (index_t r : row_idx) m.row_ptr[static_cast<std::size_t>(r) + 1]++;
   for (index_t r = 0; r < rows; ++r)
-    m.row_ptr[static_cast<std::size_t>(r) + 1] += m.row_ptr[r];
+    m.row_ptr[usize(r) + 1] += m.row_ptr[usize(r)];
   m.col_idx = col_idx;
   m.values = values;
   return m;
@@ -56,7 +56,8 @@ Coo<T> Coo<T>::from_csr(const Csr<T>& csr) {
   out.cols = csr.cols;
   out.row_idx.reserve(csr.col_idx.size());
   for (index_t r = 0; r < csr.rows; ++r)
-    for (index_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k)
+    for (index_t k = csr.row_ptr[usize(r)]; k < csr.row_ptr[usize(r) + 1];
+         ++k)
       out.row_idx.push_back(r);
   out.col_idx = csr.col_idx;
   out.values = csr.values;

@@ -23,17 +23,17 @@ std::string Csr<T>::validate() const {
   if (row_ptr.back() != static_cast<index_t>(col_idx.size()))
     return "row_ptr back != nnz";
   for (index_t r = 0; r < rows; ++r) {
-    const index_t begin = row_ptr[r], end = row_ptr[r + 1];
+    const index_t begin = row_ptr[usize(r)], end = row_ptr[usize(r) + 1];
     if (begin > end) {
       err << "row_ptr decreasing at row " << r;
       return err.str();
     }
     for (index_t k = begin; k < end; ++k) {
-      if (col_idx[k] < 0 || col_idx[k] >= cols) {
-        err << "column id " << col_idx[k] << " out of range in row " << r;
+      if (col_idx[usize(k)] < 0 || col_idx[usize(k)] >= cols) {
+        err << "column id " << col_idx[usize(k)] << " out of range in row " << r;
         return err.str();
       }
-      if (k > begin && col_idx[k] <= col_idx[k - 1]) {
+      if (k > begin && col_idx[usize(k)] <= col_idx[usize(k) - 1]) {
         err << "columns not strictly increasing in row " << r;
         return err.str();
       }
@@ -67,10 +67,10 @@ void Csr<T>::prune_zeros() {
   std::vector<index_t> new_ptr(static_cast<std::size_t>(rows) + 1, 0);
   std::size_t out = 0;
   for (index_t r = 0; r < rows; ++r) {
-    for (index_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-      if (values[k] != T{0}) {
-        col_idx[out] = col_idx[k];
-        values[out] = values[k];
+    for (index_t k = row_ptr[usize(r)]; k < row_ptr[usize(r) + 1]; ++k) {
+      if (values[usize(k)] != T{0}) {
+        col_idx[out] = col_idx[usize(k)];
+        values[out] = values[usize(k)];
         ++out;
       }
     }
@@ -85,11 +85,11 @@ template <class T>
 Csr<T> Csr<T>::identity(index_t n) {
   Csr m;
   m.rows = m.cols = n;
-  m.row_ptr.resize(static_cast<std::size_t>(n) + 1);
-  m.col_idx.resize(n);
-  m.values.assign(n, T{1});
-  for (index_t i = 0; i <= n; ++i) m.row_ptr[i] = i;
-  for (index_t i = 0; i < n; ++i) m.col_idx[i] = i;
+  m.row_ptr.resize(usize(n) + 1);
+  m.col_idx.resize(usize(n));
+  m.values.assign(usize(n), T{1});
+  for (index_t i = 0; i <= n; ++i) m.row_ptr[usize(i)] = i;
+  for (index_t i = 0; i < n; ++i) m.col_idx[usize(i)] = i;
   return m;
 }
 

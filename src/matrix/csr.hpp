@@ -33,7 +33,7 @@ struct Csr {
   }
 
   [[nodiscard]] index_t row_length(index_t r) const {
-    return row_ptr[static_cast<std::size_t>(r) + 1] - row_ptr[r];
+    return row_ptr[usize(r) + 1] - row_ptr[usize(r)];
   }
 
   /// Verify all container invariants; returns an explanatory message for the

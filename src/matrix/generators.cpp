@@ -19,7 +19,9 @@ using Rng = std::mt19937_64;
 index_t uniform_index(Rng& rng, index_t n) {
   // Multiply-shift mapping of a 64-bit draw onto [0, n).
   return static_cast<index_t>(
-      (static_cast<unsigned __int128>(rng()) * static_cast<std::uint64_t>(n)) >> 64);
+      (static_cast<unsigned __int128>(rng()) *
+       static_cast<unsigned __int128>(n)) >>
+      64);
 }
 
 double uniform_unit(Rng& rng) {  // [0, 1)
@@ -71,7 +73,7 @@ Csr<T> build_from_row_lengths(index_t rows, index_t cols,
   m.col_idx.reserve(static_cast<std::size_t>(total));
   m.values.reserve(static_cast<std::size_t>(total));
   for (index_t r = 0; r < rows; ++r) {
-    const index_t len = m.row_ptr[r + 1] - m.row_ptr[r];
+    const index_t len = m.row_ptr[usize(r) + 1] - m.row_ptr[usize(r)];
     for (index_t c : draw_columns(rng, cols, len)) {
       m.col_idx.push_back(c);
       m.values.push_back(static_cast<T>(uniform_value(rng)));

@@ -101,8 +101,9 @@ void write_matrix_market(std::ostream& out, const Csr<T>& m) {
   out << m.rows << " " << m.cols << " " << m.nnz() << "\n";
   out << std::setprecision(17);
   for (index_t r = 0; r < m.rows; ++r)
-    for (index_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k)
-      out << r + 1 << " " << m.col_idx[k] + 1 << " " << m.values[k] << "\n";
+    for (index_t k = m.row_ptr[usize(r)]; k < m.row_ptr[usize(r) + 1]; ++k)
+      out << r + 1 << " " << m.col_idx[usize(k)] + 1 << " "
+          << m.values[usize(k)] << "\n";
 }
 
 template <class T>

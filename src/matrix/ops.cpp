@@ -22,30 +22,29 @@ Csr<T> add(const Csr<T>& a, const Csr<T>& b, T alpha, T beta) {
   Csr<T> c;
   c.rows = a.rows;
   c.cols = a.cols;
-  c.row_ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+  c.row_ptr.assign(usize(a.rows) + 1, 0);
   c.col_idx.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
   c.values.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
   for (index_t r = 0; r < a.rows; ++r) {
-    index_t ka = a.row_ptr[r], kb = b.row_ptr[r];
-    const index_t ea = a.row_ptr[r + 1], eb = b.row_ptr[r + 1];
+    index_t ka = a.row_ptr[usize(r)], kb = b.row_ptr[usize(r)];
+    const index_t ea = a.row_ptr[usize(r) + 1], eb = b.row_ptr[usize(r) + 1];
     while (ka < ea || kb < eb) {
       index_t col;
       T val;
-      if (kb >= eb || (ka < ea && a.col_idx[ka] < b.col_idx[kb])) {
-        col = a.col_idx[ka];
-        val = alpha * a.values[ka++];
-      } else if (ka >= ea || b.col_idx[kb] < a.col_idx[ka]) {
-        col = b.col_idx[kb];
-        val = beta * b.values[kb++];
+      if (kb >= eb || (ka < ea && a.col_idx[usize(ka)] < b.col_idx[usize(kb)])) {
+        col = a.col_idx[usize(ka)];
+        val = alpha * a.values[usize(ka++)];
+      } else if (ka >= ea || b.col_idx[usize(kb)] < a.col_idx[usize(ka)]) {
+        col = b.col_idx[usize(kb)];
+        val = beta * b.values[usize(kb++)];
       } else {
-        col = a.col_idx[ka];
-        val = alpha * a.values[ka++] + beta * b.values[kb++];
+        col = a.col_idx[usize(ka)];
+        val = alpha * a.values[usize(ka++)] + beta * b.values[usize(kb++)];
       }
       c.col_idx.push_back(col);
       c.values.push_back(val);
     }
-    c.row_ptr[static_cast<std::size_t>(r) + 1] =
-        static_cast<index_t>(c.col_idx.size());
+    c.row_ptr[usize(r) + 1] = static_cast<index_t>(c.col_idx.size());
   }
   return c;
 }
@@ -61,23 +60,22 @@ Csr<T> hadamard(const Csr<T>& a, const Csr<T>& b) {
   Csr<T> c;
   c.rows = a.rows;
   c.cols = a.cols;
-  c.row_ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+  c.row_ptr.assign(usize(a.rows) + 1, 0);
   for (index_t r = 0; r < a.rows; ++r) {
-    index_t ka = a.row_ptr[r], kb = b.row_ptr[r];
-    while (ka < a.row_ptr[r + 1] && kb < b.row_ptr[r + 1]) {
-      if (a.col_idx[ka] < b.col_idx[kb]) {
+    index_t ka = a.row_ptr[usize(r)], kb = b.row_ptr[usize(r)];
+    while (ka < a.row_ptr[usize(r) + 1] && kb < b.row_ptr[usize(r) + 1]) {
+      if (a.col_idx[usize(ka)] < b.col_idx[usize(kb)]) {
         ++ka;
-      } else if (b.col_idx[kb] < a.col_idx[ka]) {
+      } else if (b.col_idx[usize(kb)] < a.col_idx[usize(ka)]) {
         ++kb;
       } else {
-        c.col_idx.push_back(a.col_idx[ka]);
-        c.values.push_back(a.values[ka] * b.values[kb]);
+        c.col_idx.push_back(a.col_idx[usize(ka)]);
+        c.values.push_back(a.values[usize(ka)] * b.values[usize(kb)]);
         ++ka;
         ++kb;
       }
     }
-    c.row_ptr[static_cast<std::size_t>(r) + 1] =
-        static_cast<index_t>(c.col_idx.size());
+    c.row_ptr[usize(r) + 1] = static_cast<index_t>(c.col_idx.size());
   }
   return c;
 }
@@ -88,23 +86,22 @@ Csr<T> structural_mask(const Csr<T>& m, const Csr<T>& mask) {
   Csr<T> c;
   c.rows = m.rows;
   c.cols = m.cols;
-  c.row_ptr.assign(static_cast<std::size_t>(m.rows) + 1, 0);
+  c.row_ptr.assign(usize(m.rows) + 1, 0);
   for (index_t r = 0; r < m.rows; ++r) {
-    index_t km = m.row_ptr[r], kk = mask.row_ptr[r];
-    while (km < m.row_ptr[r + 1] && kk < mask.row_ptr[r + 1]) {
-      if (m.col_idx[km] < mask.col_idx[kk]) {
+    index_t km = m.row_ptr[usize(r)], kk = mask.row_ptr[usize(r)];
+    while (km < m.row_ptr[usize(r) + 1] && kk < mask.row_ptr[usize(r) + 1]) {
+      if (m.col_idx[usize(km)] < mask.col_idx[usize(kk)]) {
         ++km;
-      } else if (mask.col_idx[kk] < m.col_idx[km]) {
+      } else if (mask.col_idx[usize(kk)] < m.col_idx[usize(km)]) {
         ++kk;
       } else {
-        c.col_idx.push_back(m.col_idx[km]);
-        c.values.push_back(m.values[km]);
+        c.col_idx.push_back(m.col_idx[usize(km)]);
+        c.values.push_back(m.values[usize(km)]);
         ++km;
         ++kk;
       }
     }
-    c.row_ptr[static_cast<std::size_t>(r) + 1] =
-        static_cast<index_t>(c.col_idx.size());
+    c.row_ptr[usize(r) + 1] = static_cast<index_t>(c.col_idx.size());
   }
   return c;
 }
@@ -114,17 +111,17 @@ double frobenius_distance(const Csr<T>& a, const Csr<T>& b) {
   require_same_shape(a, b, "frobenius_distance");
   double sum = 0.0;
   for (index_t r = 0; r < a.rows; ++r) {
-    index_t ka = a.row_ptr[r], kb = b.row_ptr[r];
-    const index_t ea = a.row_ptr[r + 1], eb = b.row_ptr[r + 1];
+    index_t ka = a.row_ptr[usize(r)], kb = b.row_ptr[usize(r)];
+    const index_t ea = a.row_ptr[usize(r) + 1], eb = b.row_ptr[usize(r) + 1];
     while (ka < ea || kb < eb) {
       double d;
-      if (kb >= eb || (ka < ea && a.col_idx[ka] < b.col_idx[kb])) {
-        d = static_cast<double>(a.values[ka++]);
-      } else if (ka >= ea || b.col_idx[kb] < a.col_idx[ka]) {
-        d = -static_cast<double>(b.values[kb++]);
+      if (kb >= eb || (ka < ea && a.col_idx[usize(ka)] < b.col_idx[usize(kb)])) {
+        d = static_cast<double>(a.values[usize(ka++)]);
+      } else if (ka >= ea || b.col_idx[usize(kb)] < a.col_idx[usize(ka)]) {
+        d = -static_cast<double>(b.values[usize(kb++)]);
       } else {
-        d = static_cast<double>(a.values[ka++]) -
-            static_cast<double>(b.values[kb++]);
+        d = static_cast<double>(a.values[usize(ka++)]) -
+            static_cast<double>(b.values[usize(kb++)]);
       }
       sum += d * d;
     }
@@ -134,10 +131,10 @@ double frobenius_distance(const Csr<T>& a, const Csr<T>& b) {
 
 template <class T>
 std::vector<T> diagonal(const Csr<T>& m) {
-  std::vector<T> d(static_cast<std::size_t>(std::min(m.rows, m.cols)), T{});
+  std::vector<T> d(usize(std::min(m.rows, m.cols)), T{});
   for (index_t r = 0; r < static_cast<index_t>(d.size()); ++r)
-    for (index_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k)
-      if (m.col_idx[k] == r) d[static_cast<std::size_t>(r)] = m.values[k];
+    for (index_t k = m.row_ptr[usize(r)]; k < m.row_ptr[usize(r) + 1]; ++k)
+      if (m.col_idx[usize(k)] == r) d[usize(r)] = m.values[usize(k)];
   return d;
 }
 

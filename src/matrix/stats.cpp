@@ -30,8 +30,8 @@ std::vector<offset_t> intermediate_products_per_row(const Csr<T>& a,
                                                     const Csr<T>& b) {
   std::vector<offset_t> out(static_cast<std::size_t>(a.rows), 0);
   for (index_t r = 0; r < a.rows; ++r)
-    for (index_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k)
-      out[static_cast<std::size_t>(r)] += b.row_length(a.col_idx[k]);
+    for (index_t k = a.row_ptr[usize(r)]; k < a.row_ptr[usize(r) + 1]; ++k)
+      out[usize(r)] += b.row_length(a.col_idx[usize(k)]);
   return out;
 }
 

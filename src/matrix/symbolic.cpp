@@ -14,17 +14,19 @@ std::vector<index_t> symbolic_row_nnz(const Csr<T>& a, const Csr<T>& b) {
   std::vector<index_t> marker(static_cast<std::size_t>(b.cols), -1);
   for (index_t r = 0; r < a.rows; ++r) {
     index_t count = 0;
-    for (index_t ka = a.row_ptr[r]; ka < a.row_ptr[r + 1]; ++ka) {
-      const index_t k = a.col_idx[ka];
-      for (index_t kb = b.row_ptr[k]; kb < b.row_ptr[k + 1]; ++kb) {
-        const index_t col = b.col_idx[kb];
-        if (marker[static_cast<std::size_t>(col)] != r) {
-          marker[static_cast<std::size_t>(col)] = r;
+    for (index_t ka = a.row_ptr[usize(r)]; ka < a.row_ptr[usize(r) + 1];
+         ++ka) {
+      const index_t k = a.col_idx[usize(ka)];
+      for (index_t kb = b.row_ptr[usize(k)]; kb < b.row_ptr[usize(k) + 1];
+           ++kb) {
+        const index_t col = b.col_idx[usize(kb)];
+        if (marker[usize(col)] != r) {
+          marker[usize(col)] = r;
           ++count;
         }
       }
     }
-    counts[static_cast<std::size_t>(r)] = count;
+    counts[usize(r)] = count;
   }
   return counts;
 }

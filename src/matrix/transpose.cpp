@@ -11,19 +11,19 @@ Csr<T> transpose(const Csr<T>& m) {
   t.col_idx.resize(m.col_idx.size());
   t.values.resize(m.values.size());
 
-  for (index_t c : m.col_idx) t.row_ptr[static_cast<std::size_t>(c) + 1]++;
+  for (index_t c : m.col_idx) t.row_ptr[usize(c) + 1]++;
   for (index_t c = 0; c < m.cols; ++c)
-    t.row_ptr[static_cast<std::size_t>(c) + 1] += t.row_ptr[c];
+    t.row_ptr[usize(c) + 1] += t.row_ptr[usize(c)];
 
   // Scatter pass: row-major traversal of m emits entries of t in increasing
   // source-row order, so each transposed row ends up sorted by column.
   std::vector<index_t> cursor(t.row_ptr.begin(), t.row_ptr.end() - 1);
   for (index_t r = 0; r < m.rows; ++r) {
-    for (index_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
-      const index_t c = m.col_idx[k];
-      const index_t dst = cursor[c]++;
-      t.col_idx[dst] = r;
-      t.values[dst] = m.values[k];
+    for (index_t k = m.row_ptr[usize(r)]; k < m.row_ptr[usize(r) + 1]; ++k) {
+      const index_t c = m.col_idx[usize(k)];
+      const index_t dst = cursor[usize(c)]++;
+      t.col_idx[usize(dst)] = r;
+      t.values[usize(dst)] = m.values[usize(k)];
     }
   }
   return t;

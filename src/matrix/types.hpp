@@ -2,6 +2,8 @@
 /// \file types.hpp
 /// Fundamental index types and small helpers shared across the library.
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <type_traits>
 
@@ -27,6 +29,17 @@ constexpr I divup(I a, I b) {
 template <class I>
 constexpr I round_up(I a, I b) {
   return divup(a, b) * b;
+}
+
+/// Widen a signed index or count to a container subscript. Row/column/nnz
+/// quantities are signed (`index_t`/`offset_t`) while standard containers
+/// subscript with `std::size_t`; this is the single checked narrowing point
+/// the -Wsign-conversion sweep funnels every such subscript through.
+template <class I>
+constexpr std::size_t usize(I i) {
+  static_assert(std::is_integral_v<I>);
+  if constexpr (std::is_signed_v<I>) assert(i >= 0);
+  return static_cast<std::size_t>(i);
 }
 
 }  // namespace acs

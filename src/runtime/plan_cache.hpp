@@ -41,7 +41,8 @@ class PlanCache {
 
     [[nodiscard]] double hit_rate() const {
       const std::size_t total = hits + misses;
-      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
     }
   };
 

@@ -57,6 +57,8 @@ struct BlockScheduler::Pool {
         job = body;
       }
       for (;;) {
+        // mo: work-stealing ticket; block inputs/outputs are published by
+        // mo: the generation handshake under the pool mutex, not by this.
         const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
         if (b >= num_blocks) break;
         try {
@@ -96,7 +98,9 @@ void BlockScheduler::run_block(const std::function<void(std::size_t)>& body,
           std::chrono::steady_clock::now() - t0)
           .count());
   trace::Counters& c = trace_->counters();
+  // mo: trace counters; consumers snapshot them after the run joins.
   c.blocks_executed.fetch_add(1, std::memory_order_relaxed);
+  // mo: same as above.
   c.block_time_ns_sum.fetch_add(ns, std::memory_order_relaxed);
   trace::Counters::raise(c.block_time_ns_max, ns);
 }
@@ -123,6 +127,8 @@ void BlockScheduler::for_each_block(
   std::unique_lock<std::mutex> lock(p.m);
   p.num_blocks = num_blocks;
   p.body = trace_ ? &timed : &body;
+  // mo: reset is published to workers by the generation bump + cv under
+  // mo: the mutex held here; the counter itself needs no ordering.
   p.next.store(0, std::memory_order_relaxed);
   p.running = p.workers.size();
   p.error = nullptr;

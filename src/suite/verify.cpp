@@ -30,8 +30,8 @@ VerifyReport verify_product(const Csr<T>& got, const Csr<T>& want,
 
   // Structural comparison with first-mismatch localization.
   for (index_t row = 0; row < got.rows; ++row) {
-    const index_t gb = got.row_ptr[row], ge = got.row_ptr[row + 1];
-    const index_t wb = want.row_ptr[row], we = want.row_ptr[row + 1];
+    const index_t gb = got.row_ptr[usize(row)], ge = got.row_ptr[usize(row) + 1];
+    const index_t wb = want.row_ptr[usize(row)], we = want.row_ptr[usize(row) + 1];
     if (ge - gb != we - wb) {
       r.first_bad_row = row;
       r.first_bad_position = std::min(ge - gb, we - wb);

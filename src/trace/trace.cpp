@@ -28,6 +28,7 @@ CountersSnapshot& CountersSnapshot::operator+=(const CountersSnapshot& o) {
 CountersSnapshot Counters::snapshot() const {
   CountersSnapshot s;
   const auto get = [](const std::atomic<std::uint64_t>& a) {
+    // mo: snapshot of monotonic counters; exact totals only after joins.
     return a.load(std::memory_order_relaxed);
   };
   s.pool_alloc_bytes = get(pool_alloc_bytes);

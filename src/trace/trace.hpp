@@ -94,20 +94,27 @@ struct Counters {
 
   /// Record one ESC block execution of `iterations` local iterations.
   void record_esc_block(std::uint64_t iterations) {
+    // mo: monotonic trace counters; snapshot() reads them post-join.
     esc_blocks.fetch_add(1, std::memory_order_relaxed);
+    // mo: same as above.
     esc_iterations.fetch_add(iterations, std::memory_order_relaxed);
     const std::size_t bucket =
         iterations == 0 ? 0
                         : (iterations < kEscHistBuckets ? iterations
                                                         : kEscHistBuckets - 1);
+    // mo: same as above.
     esc_iteration_hist[bucket].fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Raise a maximum gauge to at least `value`.
   static void raise(std::atomic<std::uint64_t>& gauge, std::uint64_t value) {
+    // mo: CAS seed; a stale read just costs one extra loop round.
     std::uint64_t cur = gauge.load(std::memory_order_relaxed);
-    while (cur < value &&
-           !gauge.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    while (cur < value) {
+      // mo: max-gauge CAS — its atomicity alone keeps the gauge monotone;
+      // mo: no other data is published through it.
+      if (gauge.compare_exchange_weak(cur, value, std::memory_order_relaxed))
+        break;
     }
   }
 
@@ -146,9 +153,11 @@ class TraceSession {
   /// Detail mode: producers additionally record fine-grained block-level
   /// spans (per ESC iteration, per merge window). Off by default — stage
   /// spans and counters are cheap; block spans are not.
+  // mo: advisory flag — flipping detail mid-run only changes which spans
+  // mo: the producers record, never data integrity.
   void set_detail(bool on) { detail_.store(on, std::memory_order_relaxed); }
   [[nodiscard]] bool detail() const {
-    return detail_.load(std::memory_order_relaxed);
+    return detail_.load(std::memory_order_relaxed);  // mo: see set_detail
   }
 
   [[nodiscard]] Counters& counters() { return counters_; }
@@ -233,7 +242,8 @@ class ScopedSpan {
   do {                                                                        \
     if (::acs::trace::TraceSession* acs_trace_s_ = (session))                 \
       acs_trace_s_->counters().field.fetch_add(                               \
-          static_cast<std::uint64_t>(delta), std::memory_order_relaxed);      \
+          static_cast<std::uint64_t>(delta),                                  \
+          std::memory_order_relaxed); /* mo: trace counter, post-join read */ \
   } while (0)
 
 /// counters().field = max(counters().field, value) — for gauges.

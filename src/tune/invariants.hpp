@@ -1,0 +1,75 @@
+#pragma once
+/// \file invariants.hpp
+/// Compile-time proofs of the tuner's feasibility contract (DESIGN.md §10):
+/// `fits_device` is constexpr, so every tuple of the default candidate
+/// grids can be certified against the default 48 KiB scratchpad here, for
+/// both value widths, instead of trusting the runtime pruning alone.
+/// Included from tune/tuner.cpp so the proofs are checked in every build.
+
+#include <cstddef>
+
+#include "core/config.hpp"
+#include "tune/tuner.hpp"
+
+namespace acs::tune::invariants {
+
+/// The default grid tuple (nnz_per_block, retain) overlaid on the default
+/// block shape (256 threads × 8 elements).
+constexpr Config grid_config(int nnz_per_block, int retain) {
+  Config cfg{};
+  cfg.nnz_per_block = nnz_per_block;
+  cfg.retain_per_thread = retain;
+  return cfg;
+}
+
+/// Every default-grid tuple with nnz_per_block below `npb_limit` fits the
+/// default device for values of `value_bytes`.
+constexpr bool default_grid_fits(std::size_t value_bytes, int npb_limit) {
+  for (int npb : kDefaultNnzPerBlockGrid) {
+    if (npb >= npb_limit) continue;
+    for (int retain : kDefaultRetainGrid)
+      if (!fits_device(grid_config(npb, retain), value_bytes)) return false;
+  }
+  return true;
+}
+
+// The base configuration itself is feasible for both widths — the tuner's
+// "never worse than the default" guarantee depends on the identity overlay
+// surviving the feasibility filter.
+static_assert(fits_device(Config{}, sizeof(float)));
+static_assert(fits_device(Config{}, sizeof(double)));
+
+// Float: the whole default grid fits the 48 KiB scratchpad.
+static_assert(default_grid_fits(sizeof(float), /*npb_limit=*/2048));
+
+// Double: every tuple except nnz_per_block=1024 fits...
+static_assert(default_grid_fits(sizeof(double), /*npb_limit=*/1024));
+// ...and 1024 exactly does not: 2048 keys (16 KiB) + 2048 double values
+// (16 KiB) + 1025 offset_t work-distribution offsets (8200 B) + 2048 scan
+// states (8 KiB) = 49160 B > 49152 B. The tuner must prune it, which
+// test_tune.cpp observes at run time.
+static_assert(!fits_device(grid_config(1024, 4), sizeof(double)));
+
+// The retained-element grid never reaches elements_per_thread — retain ==
+// ept would make every ESC iteration a no-op that forwards its whole
+// buffer, so fits_device rejects it and the grid must stay below.
+constexpr bool retain_grid_below_ept() {
+  for (int retain : kDefaultRetainGrid)
+    if (retain >= Config{}.elements_per_thread) return false;
+  return true;
+}
+static_assert(retain_grid_below_ept());
+
+// Compaction feasibility: the filter bounds temp_capacity() by the 15-bit
+// scan counters, so any accepted shape can never trip compact_sorted's
+// overflow guard.
+static_assert(!fits_device(
+    []() constexpr {
+      Config cfg{};
+      cfg.threads = 4096;
+      cfg.elements_per_thread = 8;  // temp_capacity 32768 > 32767
+      return cfg;
+    }(),
+    sizeof(float)));
+
+}  // namespace acs::tune::invariants

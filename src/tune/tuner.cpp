@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "tune/invariants.hpp"  // compile-time proofs ride every build
+
 namespace acs::tune {
 
 const char* to_string(TuningMode mode) {
@@ -12,30 +14,6 @@ const char* to_string(TuningMode mode) {
     case TuningMode::kFeedback: return "feedback";
   }
   return "?";
-}
-
-bool fits_device(const Config& cfg, std::size_t value_bytes) {
-  if (cfg.threads <= 0 || cfg.nnz_per_block <= 0 ||
-      cfg.elements_per_thread <= 0)
-    return false;
-  if (cfg.retain_per_thread < 0 ||
-      cfg.retain_per_thread >= cfg.elements_per_thread)
-    return false;
-  if (cfg.temp_capacity() > 32767) return false;  // 15-bit compaction counters
-  // Mirror Pipeline::validate's scratchpad layout (same order, same
-  // alignment padding as sim::Scratchpad::allocate).
-  const auto cap = static_cast<std::size_t>(cfg.temp_capacity());
-  std::size_t used = 0;
-  const auto alloc = [&](std::size_t count, std::size_t size,
-                         std::size_t align) {
-    used = (used + align - 1) / align * align + count * size;
-  };
-  alloc(cap, sizeof(std::uint64_t), alignof(std::uint64_t));  // sort keys
-  alloc(cap, value_bytes, value_bytes);                       // sort values
-  alloc(static_cast<std::size_t>(cfg.nnz_per_block) + 1, sizeof(offset_t),
-        alignof(offset_t));                                   // WD offsets
-  alloc(cap, sizeof(std::uint32_t), alignof(std::uint32_t));  // scan states
-  return used <= static_cast<std::size_t>(cfg.device.scratchpad_bytes);
 }
 
 namespace {

@@ -18,6 +18,8 @@
 /// refined choices are equally deterministic (DESIGN.md §9).
 
 #include <cstddef>
+#include <cstdint>
+#include <iterator>
 #include <vector>
 
 #include "core/config.hpp"
@@ -57,14 +59,24 @@ enum class TuneObjective {
   kLatency,
 };
 
+/// Default candidate grids, exposed as constexpr arrays so that
+/// tune/invariants.hpp can prove feasibility properties of every default
+/// tuple at compile time (TunerOptions below seeds its vectors from them).
+inline constexpr int kDefaultNnzPerBlockGrid[] = {128, 256, 512, 1024};
+inline constexpr int kDefaultRetainGrid[] = {2, 4, 6};
+inline constexpr int kDefaultPathMergeGrid[] = {4, 8, 16};
+
 /// Candidate grids and sampling parameters of the tuner. Grids hold the
 /// values tried for each knob; the base Config's own value is always added,
 /// so tuning can never do worse than the default *under the model*.
 struct TunerOptions {
   TuneObjective objective = TuneObjective::kThroughput;
-  std::vector<int> nnz_per_block = {128, 256, 512, 1024};
-  std::vector<int> retain_per_thread = {2, 4, 6};
-  std::vector<int> path_merge_max_chunks = {4, 8, 16};
+  std::vector<int> nnz_per_block{std::begin(kDefaultNnzPerBlockGrid),
+                                 std::end(kDefaultNnzPerBlockGrid)};
+  std::vector<int> retain_per_thread{std::begin(kDefaultRetainGrid),
+                                     std::end(kDefaultRetainGrid)};
+  std::vector<int> path_merge_max_chunks{std::begin(kDefaultPathMergeGrid),
+                                         std::end(kDefaultPathMergeGrid)};
   /// Also try long-row thresholds derived from B's row-length quantiles
   /// (p90, p99) next to the base setting and "auto".
   bool tune_long_row_threshold = true;
@@ -83,8 +95,34 @@ struct Candidate {
 /// Pipeline::validate would enforce: positive block geometry, retain <
 /// elements_per_thread, 15-bit compaction counters, and the ESC working
 /// set (keys + values + work-distribution offsets + states) fitting the
-/// scratchpad. `value_bytes` = sizeof of the value type.
-[[nodiscard]] bool fits_device(const Config& cfg, std::size_t value_bytes);
+/// scratchpad. `value_bytes` = sizeof of the value type. Constexpr so that
+/// tune/invariants.hpp can certify the default grid at compile time — e.g.
+/// that double-width values with nnz_per_block=1024 exceed 48 KiB and the
+/// tuner must prune that tuple.
+[[nodiscard]] constexpr bool fits_device(const Config& cfg,
+                                         std::size_t value_bytes) {
+  if (cfg.threads <= 0 || cfg.nnz_per_block <= 0 ||
+      cfg.elements_per_thread <= 0)
+    return false;
+  if (cfg.retain_per_thread < 0 ||
+      cfg.retain_per_thread >= cfg.elements_per_thread)
+    return false;
+  if (cfg.temp_capacity() > 32767) return false;  // 15-bit compaction counters
+  // Mirror Pipeline::validate's scratchpad layout (same order, same
+  // alignment padding as sim::Scratchpad::allocate).
+  const auto cap = static_cast<std::size_t>(cfg.temp_capacity());
+  std::size_t used = 0;
+  const auto alloc = [&](std::size_t count, std::size_t size,
+                         std::size_t align) {
+    used = (used + align - 1) / align * align + count * size;
+  };
+  alloc(cap, sizeof(std::uint64_t), alignof(std::uint64_t));  // sort keys
+  alloc(cap, value_bytes, value_bytes);                       // sort values
+  alloc(static_cast<std::size_t>(cfg.nnz_per_block) + 1, sizeof(offset_t),
+        alignof(offset_t));                                   // WD offsets
+  alloc(cap, sizeof(std::uint32_t), alignof(std::uint32_t));  // scan states
+  return used <= static_cast<std::size_t>(cfg.device.scratchpad_bytes);
+}
 
 class AutoTuner {
  public:

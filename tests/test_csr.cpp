@@ -112,8 +112,8 @@ TEST(Csr, Identity) {
   EXPECT_EQ(id.validate(), "");
   EXPECT_EQ(id.nnz(), 4);
   for (index_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(id.col_idx[i], i);
-    EXPECT_EQ(id.values[i], 1.0f);
+    EXPECT_EQ(id.col_idx[usize(i)], i);
+    EXPECT_EQ(id.values[usize(i)], 1.0f);
   }
 }
 

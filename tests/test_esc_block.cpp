@@ -32,7 +32,7 @@ std::vector<index_t> glb(const Csr<double>& a, const Config& cfg) {
       static_cast<std::size_t>(divup<offset_t>(a.nnz(), cfg.nnz_per_block));
   std::vector<index_t> starts(blocks, 0);
   for (index_t row = 0; row < a.rows; ++row) {
-    const offset_t lo = a.row_ptr[row], hi = a.row_ptr[row + 1];
+    const offset_t lo = a.row_ptr[usize(row)], hi = a.row_ptr[usize(row) + 1];
     if (lo == hi) continue;
     for (offset_t blk = divup<offset_t>(lo, cfg.nnz_per_block);
          blk <= (hi - 1) / cfg.nnz_per_block; ++blk)

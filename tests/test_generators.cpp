@@ -45,9 +45,9 @@ TEST(Generators, BandedStructure) {
   EXPECT_EQ(s.min_len, 4);  // boundary rows
   // Diagonal dominance by construction.
   for (index_t r = 0; r < m.rows; ++r) {
-    for (index_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
-      if (m.col_idx[k] == r) {
-        EXPECT_GT(m.values[k], 1.0);
+    for (index_t k = m.row_ptr[usize(r)]; k < m.row_ptr[usize(r) + 1]; ++k) {
+      if (m.col_idx[usize(k)] == r) {
+        EXPECT_GT(m.values[usize(k)], 1.0);
       }
     }
   }
@@ -103,9 +103,10 @@ TEST(Generators, UniformLocalRespectsWindow) {
   const auto m = gen_uniform_local<double>(1000, 1000, 6.0, 2.0, 64, 44);
   EXPECT_EQ(m.validate(), "");
   for (index_t r = 0; r < m.rows; ++r) {
-    const index_t begin = m.row_ptr[r], end = m.row_ptr[r + 1];
+    const index_t begin = m.row_ptr[usize(r)], end = m.row_ptr[usize(r) + 1];
     if (begin == end) continue;
-    EXPECT_LE(m.col_idx[end - 1] - m.col_idx[begin], 64) << "row " << r;
+    EXPECT_LE(m.col_idx[usize(end) - 1] - m.col_idx[usize(begin)], 64)
+        << "row " << r;
   }
 }
 

@@ -160,8 +160,11 @@ TEST(Merge, PointerChunksMaterializeFromB) {
   const auto& m = out.chunks[0];
   ASSERT_EQ(m.entry_count(), 11);  // cols 10..19 plus 50
   // col 12 combines 2.0*1.5 (scaled B) + 100.0 (regular chunk).
-  for (std::size_t i = 0; i < m.cols.size(); ++i)
-    if (m.cols[i] == 12) EXPECT_EQ(m.vals[i], 2.0 * 1.5 + 100.0);
+  for (std::size_t i = 0; i < m.cols.size(); ++i) {
+    if (m.cols[i] == 12) {
+      EXPECT_EQ(m.vals[i], 2.0 * 1.5 + 100.0);
+    }
+  }
 }
 
 TEST(Merge, DegenerateOversizedGroupChargesFlops) {

@@ -92,9 +92,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, 8),
                        ::testing::Values(std::uint64_t{201}, std::uint64_t{202},
                                          std::uint64_t{203})),
-    [](const auto& info) {
-      return std::string(kRegimes[std::get<0>(info.param)].name) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      // Built up in place: chained std::string operator+ trips a GCC 12
+      // -Wrestrict false positive (PR105651) once inlined.
+      std::string name = kRegimes[std::get<0>(param_info.param)].name;
+      name += "_seed";
+      name += std::to_string(std::get<1>(param_info.param));
+      return name;
     });
 
 // ---------------------------------------------------------------------------
@@ -127,12 +131,17 @@ INSTANTIATE_TEST_SUITE_P(
                       ShapeParam{128, 128, 8, 4}, ShapeParam{64, 64, 4, 2},
                       ShapeParam{32, 32, 8, 1}, ShapeParam{16, 16, 4, 0},
                       ShapeParam{512, 256, 4, 2}, ShapeParam{256, 64, 8, 6}),
-    [](const auto& info) {
-      const auto& p = info.param;
-      return "t" + std::to_string(p.threads) + "_n" +
-             std::to_string(p.nnz_per_block) + "_e" +
-             std::to_string(p.elements_per_thread) + "_r" +
-             std::to_string(p.retain);
+    [](const auto& param_info) {
+      const auto& p = param_info.param;
+      std::string name = "t";
+      name += std::to_string(p.threads);
+      name += "_n";
+      name += std::to_string(p.nnz_per_block);
+      name += "_e";
+      name += std::to_string(p.elements_per_thread);
+      name += "_r";
+      name += std::to_string(p.retain);
+      return name;
     });
 
 // ---------------------------------------------------------------------------

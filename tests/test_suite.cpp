@@ -22,7 +22,9 @@ TEST(Suite, AllEntriesBuildValidMatrices) {
     const auto m = build_matrix<double>(entry);
     EXPECT_EQ(m.validate(), "") << entry.name;
     EXPECT_GT(m.nnz(), 0) << entry.name;
-    if (entry.square) EXPECT_EQ(m.rows, m.cols) << entry.name;
+    if (entry.square) {
+      EXPECT_EQ(m.rows, m.cols) << entry.name;
+    }
   }
 }
 

@@ -151,7 +151,9 @@ TEST(Tune, FeedbackRestartsMonotonicallyNonIncreasing) {
       ASSERT_FALSE(r.failed());
     }
     const std::size_t this_pass = engine.stats().restarts - before;
-    if (pass > 0) EXPECT_LE(this_pass, prev) << "pass " << pass;
+    if (pass > 0) {
+      EXPECT_LE(this_pass, prev) << "pass " << pass;
+    }
     prev = this_pass;
   }
   EXPECT_EQ(prev, 0u) << "feedback tuning must converge to zero restarts";

@@ -11,6 +11,14 @@
      cannot leave stale docs behind;
    * every field of the two structs must appear in README.md, so new
      knobs cannot ship undocumented.
+3. Change-log completeness: CHANGES.md carries one `- PR <n> ·` entry per
+   merged PR, numbered contiguously from 1 (newest last); when the full
+   git history is available the entry count is cross-checked against the
+   number of PR commits on the branch (shallow CI clones skip only the
+   git cross-check, never the structural one).
+4. Architecture-map completeness: every directory under src/ must be
+   named (as `src/<dir>`) in docs/ARCHITECTURE.md, so new subsystems
+   cannot ship without a place in the layer map.
 
 Exit code 0 = docs in sync; 1 = drift, with one line per finding.
 """
@@ -18,6 +26,7 @@ Exit code 0 = docs in sync; 1 = drift, with one line per finding.
 from __future__ import annotations
 
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -136,14 +145,88 @@ def check_drift() -> list[str]:
     return errors
 
 
+CHANGES_ENTRY_RE = re.compile(r"^- PR (\d+) ·")
+PR_SUBJECT_RE = re.compile(r"^PR (\d+):")
+
+
+def merged_pr_floor() -> int | None:
+    """Highest PR number visible in git subjects, or None when unknowable.
+
+    The branch history is the source of truth for what merged, but CI
+    checkouts are often shallow (fetch-depth 1) and some PR subjects do
+    not carry a `PR <n>:` prefix, so this is a lower bound used as a
+    floor — never an exact count.
+    """
+    try:
+        shallow = subprocess.run(
+            ["git", "rev-parse", "--is-shallow-repository"],
+            cwd=REPO, capture_output=True, text=True, check=True)
+        if shallow.stdout.strip() == "true":
+            return None
+        log = subprocess.run(
+            ["git", "log", "--format=%s"],
+            cwd=REPO, capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    prs = [int(m.group(1))
+           for m in map(PR_SUBJECT_RE.match, log.stdout.splitlines()) if m]
+    return max(prs, default=0) or None
+
+
+def check_changes() -> list[str]:
+    """CHANGES.md: one `- PR <n> ·` entry per merged PR, 1..N in order."""
+    path = REPO / "CHANGES.md"
+    if not path.exists():
+        return ["CHANGES.md: required change log missing"]
+    errors = []
+    numbers: list[int] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.startswith("- ") and not CHANGES_ENTRY_RE.match(line):
+            errors.append(
+                f"CHANGES.md:{lineno}: entry does not follow the "
+                f"'- PR <n> · <area> — ...' format")
+            continue
+        m = CHANGES_ENTRY_RE.match(line)
+        if m:
+            numbers.append(int(m.group(1)))
+    if numbers != list(range(1, len(numbers) + 1)):
+        errors.append(
+            f"CHANGES.md: entries must be numbered contiguously from PR 1, "
+            f"newest last (found {numbers})")
+    floor = merged_pr_floor()
+    if floor is not None and (not numbers or numbers[-1] < floor):
+        errors.append(
+            f"CHANGES.md: git history shows PR {floor} merged but the "
+            f"newest entry is PR {numbers[-1] if numbers else 0} — add a "
+            f"line for every merged PR")
+    return errors
+
+
+def check_architecture_dirs() -> list[str]:
+    """docs/ARCHITECTURE.md must name every directory under src/."""
+    arch = REPO / "docs/ARCHITECTURE.md"
+    if not arch.exists():
+        return ["docs/ARCHITECTURE.md: required doc file missing"]
+    text = arch.read_text()
+    errors = []
+    for d in sorted(p for p in (REPO / "src").iterdir() if p.is_dir()):
+        if f"src/{d.name}" not in text:
+            errors.append(
+                f"docs/ARCHITECTURE.md: src/{d.name} exists but is absent "
+                f"from the architecture map")
+    return errors
+
+
 def main() -> int:
-    errors = check_links() + check_drift()
+    errors = (check_links() + check_drift() + check_changes()
+              + check_architecture_dirs())
     for e in errors:
         print(e, file=sys.stderr)
     if errors:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         return 1
-    print("check_docs: links and Config/EngineConfig docs are in sync")
+    print("check_docs: links, Config/EngineConfig docs, CHANGES.md and the "
+          "architecture map are in sync")
     return 0
 
 

@@ -1,0 +1,503 @@
+#!/usr/bin/env python3
+"""acs-lint: project-specific static analysis for the AC-SpGEMM repo.
+
+Checks the domain rules that generic tooling cannot know (DESIGN.md §10):
+
+  mo-justify        every std::memory_order_{relaxed,acquire,release,acq_rel}
+                    argument carries a `// mo:` justification comment on the
+                    same line or in the comment block directly above it.
+  trace-span-paired outside src/trace/, raw TraceSession::begin_span calls
+                    must be provably paired with an end_span in the same
+                    function body; the RAII macros (ACS_TRACE_SPAN/SCOPE)
+                    are the sanctioned spelling.
+  typed-indices     public headers declare row/column/nnz quantities with
+                    the project typedefs (index_t/offset_t, matrix/types.hpp),
+                    never raw int/long. Shape knobs and bit/byte counts
+                    (e.g. nnz_per_block, row_bits) are exempt.
+  banned-calls      library code (src/ outside src/suite/) never calls
+                    rand/srand/time or the printf family — determinism and
+                    the trace layer are the only sanctioned side channels.
+  self-sufficient   every public header compiles standalone (its includes
+                    are complete), checked with `$CXX -fsyntax-only`.
+
+Backends: uses libclang (python `clang.cindex`) for AST-accurate
+declaration info when the bindings are installed; otherwise falls back to
+the built-in lexer backend, which strips comments and string literals and
+applies the same rules textually. Both backends agree on this repo and on
+the fixtures (tools/lint/test_acs_lint.py proves the fixture half).
+
+Exit status: 0 when no findings, 1 when findings, 2 on usage errors.
+Suppressions: a `// lint: allow(<rule>)` comment on the flagged line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+try:  # pragma: no cover - exercised only where bindings exist
+    import clang.cindex  # type: ignore
+
+    HAVE_LIBCLANG = True
+except ImportError:
+    HAVE_LIBCLANG = False
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        try:
+            rel = self.path.relative_to(REPO)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Lexer backend: blank out comments and literals, keep geometry identical.
+# ---------------------------------------------------------------------------
+
+
+def lex(text: str) -> tuple[str, dict[int, str]]:
+    """Return (code, comments): `code` is `text` with comments and the
+    contents of string/char literals replaced by spaces (newlines kept, so
+    offsets and line numbers are unchanged); `comments` maps 1-based line
+    numbers to the concatenated comment text on that line."""
+    code: list[str] = []
+    comments: dict[int, str] = {}
+    line = 1
+    i = 0
+    n = len(text)
+
+    def put(ch: str) -> None:
+        code.append(ch if ch == "\n" else " ")
+
+    def note(ch: str) -> None:
+        comments[line] = comments.get(line, "") + ch
+
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                note(text[i])
+                put(text[i])
+                i += 1
+            continue
+        if ch == "/" and nxt == "*":
+            put(ch)
+            put(nxt)
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                else:
+                    note(text[i])
+                put(text[i])
+                i += 1
+            if i < n:
+                put("*")
+                put("/")
+                i += 2
+            continue
+        if ch == 'R' and nxt == '"':  # raw string R"delim( ... )delim"
+            m = re.match(r'R"([^(\s\\)]{0,16})\(', text[i:])
+            if m:
+                end = text.find(")" + m.group(1) + '"', i + m.end())
+                end = n if end < 0 else end + len(m.group(1)) + 2
+                while i < end:
+                    if text[i] == "\n":
+                        line += 1
+                        code.append("\n")
+                    else:
+                        put(text[i])
+                    i += 1
+                continue
+        if ch in "\"'":
+            quote = ch
+            code.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    put(" ")
+                    i += 1
+                    if i < n:
+                        if text[i] == "\n":
+                            line += 1
+                            code.append("\n")
+                        else:
+                            put(" ")
+                        i += 1
+                    continue
+                if text[i] == "\n":  # unterminated; bail on the literal
+                    break
+                put(" ")
+                i += 1
+            if i < n and text[i] == quote:
+                code.append(quote)
+                i += 1
+            continue
+        if ch == "\n":
+            line += 1
+        code.append(ch)
+        i += 1
+    return "".join(code), comments
+
+
+def line_of(code: str, pos: int) -> int:
+    return code.count("\n", 0, pos) + 1
+
+
+def suppressed(rule: str, lineno: int, comments: dict[int, str]) -> bool:
+    c = comments.get(lineno, "")
+    return f"allow({rule})" in c and "lint:" in c
+
+
+# ---------------------------------------------------------------------------
+# Rule: mo-justify
+# ---------------------------------------------------------------------------
+
+MO_RE = re.compile(r"std\s*::\s*memory_order_(relaxed|acquire|release|acq_rel)")
+
+
+def rule_mo_justify(path: Path, code: str, comments: dict[int, str],
+                    raw_lines: list[str]) -> list[Finding]:
+    findings = []
+    code_lines = code.split("\n")
+    for m in MO_RE.finditer(code):
+        lineno = line_of(code, m.start())
+        if suppressed("mo-justify", lineno, comments):
+            continue
+        justified = "mo:" in comments.get(lineno, "")
+        # Walk up to the start of the statement (continuation lines carry
+        # code but no terminator), then through the attached comment block
+        # (max 3 comment lines; a blank line detaches it).
+        look = lineno - 1
+        while not justified and look >= 1:
+            stripped = code_lines[look - 1].strip()
+            if stripped == "" or stripped.endswith((";", "{", "}", ":")):
+                break  # previous statement ended; leave continuation walk
+            if "mo:" in comments.get(look, ""):
+                justified = True
+            look -= 1
+        steps = 0
+        while not justified and look >= 1 and steps < 3:
+            has_code = code_lines[look - 1].strip() != ""
+            if has_code:
+                break
+            if "mo:" in comments.get(look, ""):
+                justified = True
+            if raw_lines[look - 1].strip() == "":
+                break  # blank line detaches the comment block
+            look -= 1
+            steps += 1
+        if not justified:
+            findings.append(Finding(
+                path, lineno, "mo-justify",
+                f"std::memory_order_{m.group(1)} without a `// mo:` "
+                "justification comment (same line or the comment block "
+                "directly above)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: trace-span-paired
+# ---------------------------------------------------------------------------
+
+
+def enclosing_function_body(code: str, pos: int) -> tuple[int, int] | None:
+    """Byte range of the innermost brace block containing `pos` that looks
+    like a function body (its opening brace follows a `)` or a function
+    qualifier). Returns None when `pos` sits at namespace/class scope."""
+    stack: list[int] = []
+    blocks: list[tuple[int, int]] = []
+    for i, ch in enumerate(code):
+        if ch == "{":
+            stack.append(i)
+        elif ch == "}" and stack:
+            open_i = stack.pop()
+            if open_i < pos < i:
+                blocks.append((open_i, i))
+    qualifier = re.compile(
+        r"(\)|const|noexcept|override|final|mutable|->\s*[\w:<>,\s&*]+|try)\s*$")
+    for open_i, close_i in blocks:  # innermost first
+        before = code[:open_i].rstrip()
+        if qualifier.search(before):
+            return open_i, close_i
+    return None
+
+
+def rule_trace_span(path: Path, code: str, comments: dict[int, str],
+                    raw_lines: list[str]) -> list[Finding]:
+    del raw_lines
+    if "src/trace" in path.as_posix():
+        return []  # the implementation of the RAII wrapper itself
+    findings = []
+    for m in re.finditer(r"\bbegin_span\s*\(", code):
+        before = code[:m.start()].rstrip()
+        if not before.endswith((".", ">")):
+            continue  # declaration/definition, not a member call
+        lineno = line_of(code, m.start())
+        if suppressed("trace-span-paired", lineno, comments):
+            continue
+        body = enclosing_function_body(code, m.start())
+        paired = body is not None and re.search(
+            r"\bend_span\s*\(", code[m.end():body[1]]) is not None
+        if not paired:
+            findings.append(Finding(
+                path, lineno, "trace-span-paired",
+                "raw begin_span without an end_span later in the same "
+                "function — use ACS_TRACE_SPAN/ACS_TRACE_SCOPE (RAII) "
+                "instead"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: typed-indices
+# ---------------------------------------------------------------------------
+
+DECL_RE = re.compile(
+    r"\b(?P<type>(?:unsigned\s+)?(?:long\s+long|long|int|short)|unsigned)\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?==|;|,|\)|\{)")
+INDEX_NAME_RE = re.compile(r"(^|_)(rows?|cols?|nnz)(_|$)")
+INDEX_EXEMPT_RE = re.compile(
+    r"(bits|bytes|per_block|per_thread|chunks|blocks|shift|stride|passes)")
+
+
+def rule_typed_indices(path: Path, code: str, comments: dict[int, str],
+                       raw_lines: list[str]) -> list[Finding]:
+    del raw_lines
+    if path.suffix not in (".hpp", ".h"):
+        return []
+    findings = []
+    for m in DECL_RE.finditer(code):
+        name = m.group("name")
+        if not INDEX_NAME_RE.search(name) or INDEX_EXEMPT_RE.search(name):
+            continue
+        lineno = line_of(code, m.start())
+        if suppressed("typed-indices", lineno, comments):
+            continue
+        findings.append(Finding(
+            path, lineno, "typed-indices",
+            f"`{m.group('type')} {name}` in a public header: row/column/nnz "
+            "quantities must use index_t/offset_t (matrix/types.hpp)"))
+    return findings
+
+
+def rule_typed_indices_clang(path: Path, index) -> list[Finding]:
+    """AST-accurate variant of typed-indices used when libclang is
+    available: inspects the canonical type of every declaration instead of
+    pattern-matching the declaration text."""
+    findings = []
+    tu = index.parse(str(path), args=["-std=c++20", f"-I{REPO / 'src'}",
+                                      "-fsyntax-only"])
+    raw_kinds = {
+        clang.cindex.TypeKind.INT, clang.cindex.TypeKind.LONG,
+        clang.cindex.TypeKind.LONGLONG, clang.cindex.TypeKind.SHORT,
+        clang.cindex.TypeKind.UINT, clang.cindex.TypeKind.ULONG,
+        clang.cindex.TypeKind.ULONGLONG, clang.cindex.TypeKind.USHORT,
+    }
+    decl_kinds = {
+        clang.cindex.CursorKind.VAR_DECL, clang.cindex.CursorKind.FIELD_DECL,
+        clang.cindex.CursorKind.PARM_DECL,
+    }
+    for cur in tu.cursor.walk_preorder():
+        if cur.kind not in decl_kinds:
+            continue
+        if cur.location.file is None or cur.location.file.name != str(path):
+            continue
+        name = cur.spelling or ""
+        if not INDEX_NAME_RE.search(name) or INDEX_EXEMPT_RE.search(name):
+            continue
+        t = cur.type
+        # A typedef like index_t has kind TYPEDEF at the declared level even
+        # though the canonical type is a builtin — only flag spelled-out
+        # builtins.
+        if t.kind in raw_kinds:
+            findings.append(Finding(
+                path, cur.location.line, "typed-indices",
+                f"`{t.spelling} {name}` in a public header: row/column/nnz "
+                "quantities must use index_t/offset_t (matrix/types.hpp)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: banned-calls
+# ---------------------------------------------------------------------------
+
+BANNED_RE = re.compile(
+    r"(?<![\w.>:])(?:std\s*::\s*)?"
+    r"(?P<fn>rand|srand|time|printf|fprintf|sprintf|vprintf|puts)"
+    r"\s*\(")
+
+
+def rule_banned_calls(path: Path, code: str, comments: dict[int, str],
+                      raw_lines: list[str]) -> list[Finding]:
+    del raw_lines
+    parts = set(path.parts)
+    exempt_dirs = {"suite", "bench", "tools", "tests", "examples"}
+    if "fixtures" not in parts and exempt_dirs & parts:
+        return []
+    findings = []
+    for m in BANNED_RE.finditer(code):
+        lineno = line_of(code, m.start())
+        if suppressed("banned-calls", lineno, comments):
+            continue
+        findings.append(Finding(
+            path, lineno, "banned-calls",
+            f"call of `{m.group('fn')}` in library code: randomness, wall "
+            "clocks and stdout are banned outside src/suite, bench and "
+            "tools (determinism; use the trace layer for output)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: self-sufficient
+# ---------------------------------------------------------------------------
+
+
+def compiler() -> str | None:
+    for cxx in (os.environ.get("CXX"), "g++", "clang++"):
+        if cxx and shutil.which(cxx):
+            return cxx
+    return None
+
+
+def rule_self_sufficient(headers: list[Path], include_dirs: list[Path],
+                         verbose: bool) -> list[Finding]:
+    cxx = compiler()
+    if cxx is None:
+        print("acs-lint: note: no C++ compiler found; skipping "
+              "self-sufficient rule", file=sys.stderr)
+        return []
+    findings = []
+    for header in headers:
+        cmd = [cxx, "-std=c++20", "-fsyntax-only", "-x", "c++"]
+        for inc in include_dirs:
+            cmd += [f"-I{inc}"]
+        cmd.append(str(header))
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if verbose:
+            print(f"acs-lint: {' '.join(cmd)} -> {proc.returncode}",
+                  file=sys.stderr)
+        if proc.returncode != 0:
+            first_error = next(
+                (ln for ln in proc.stderr.splitlines() if "error:" in ln),
+                proc.stderr.strip().splitlines()[0] if proc.stderr.strip()
+                else "compilation failed")
+            findings.append(Finding(
+                header, 1, "self-sufficient",
+                f"header does not compile standalone: {first_error}"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+TEXT_RULES = {
+    "mo-justify": rule_mo_justify,
+    "trace-span-paired": rule_trace_span,
+    "typed-indices": rule_typed_indices,
+    "banned-calls": rule_banned_calls,
+}
+ALL_RULES = list(TEXT_RULES) + ["self-sufficient"]
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files += sorted(p.rglob("*.hpp")) + sorted(p.rglob("*.h"))
+            files += sorted(p.rglob("*.cpp")) + sorted(p.rglob("*.cc"))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"acs-lint: error: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="acs_lint.py",
+        description="Project-specific static analysis (see module docstring).")
+    ap.add_argument("paths", nargs="*", type=Path,
+                    default=None, help="files or directories (default: src/)")
+    ap.add_argument("--rules", default=",".join(ALL_RULES),
+                    help="comma-separated rule subset to run")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--backend", choices=["auto", "lexer", "clang"],
+                    default="auto",
+                    help="auto = libclang when importable, else lexer")
+    ap.add_argument("--include-dir", action="append", type=Path, default=[],
+                    help="extra -I directory for self-sufficient checks")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for r in ALL_RULES:
+            print(r)
+        return 0
+
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    unknown = [r for r in rules if r not in ALL_RULES]
+    if unknown:
+        print(f"acs-lint: error: unknown rule(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    if args.backend == "clang" and not HAVE_LIBCLANG:
+        print("acs-lint: error: --backend clang requested but the libclang "
+              "python bindings are not importable", file=sys.stderr)
+        return 2
+    use_clang = HAVE_LIBCLANG and args.backend in ("auto", "clang")
+
+    paths = args.paths or [REPO / "src"]
+    files = collect_files([p.resolve() for p in paths])
+    headers = [f for f in files if f.suffix in (".hpp", ".h")]
+    include_dirs = [REPO / "src"] + args.include_dir
+
+    findings: list[Finding] = []
+    clang_index = clang.cindex.Index.create() if use_clang else None
+    for f in files:
+        text = f.read_text(encoding="utf-8", errors="replace")
+        code, comments = lex(text)
+        raw_lines = text.split("\n")
+        for rule in rules:
+            if rule == "self-sufficient":
+                continue
+            if rule == "typed-indices" and clang_index is not None and \
+                    f.suffix in (".hpp", ".h"):
+                findings += [fd for fd in rule_typed_indices_clang(
+                    f, clang_index)
+                    if not suppressed(rule, fd.line, comments)]
+            else:
+                findings += TEXT_RULES[rule](f, code, comments, raw_lines)
+    if "self-sufficient" in rules:
+        findings += rule_self_sufficient(headers, include_dirs, args.verbose)
+
+    findings.sort(key=lambda fd: (str(fd.path), fd.line))
+    for fd in findings:
+        print(fd)
+    active = ", ".join(rules)
+    backend = "libclang" if use_clang else "lexer"
+    print(f"acs-lint: {len(findings)} finding(s) over {len(files)} file(s) "
+          f"[backend: {backend}; rules: {active}]", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

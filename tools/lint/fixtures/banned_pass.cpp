@@ -1,0 +1,16 @@
+// Fixture: library code with no banned calls — names that merely *contain*
+// a banned identifier, or banned names in comments/strings, stay silent.
+#include <string>
+
+double sim_time_s() { return 0.0; }
+
+struct Clock {
+  double time_s = 0.0;
+};
+
+// printf( in a comment is not a call; neither is time( here.
+std::string describe() {
+  return "rand() and printf() in a string literal do not count";
+}
+
+double runtime(const Clock& c) { return c.time_s + sim_time_s(); }

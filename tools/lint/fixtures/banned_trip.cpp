@@ -1,0 +1,10 @@
+// Fixture: banned calls in library code — the rule must flag all three.
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+int noisy_random_now() {
+  std::printf("side channel\n");
+  const int r = std::rand();
+  return r + static_cast<int>(time(nullptr));
+}

@@ -1,0 +1,27 @@
+// Fixture: every memory-order argument is justified — the rule must stay
+// silent on all four accepted comment placements.
+#include <atomic>
+
+std::atomic<int> counter{0};
+std::atomic<int> flag{0};
+
+int same_line() {
+  return counter.load(std::memory_order_relaxed);  // mo: stat snapshot
+}
+
+void block_above() {
+  // mo: monotonic tally, read only after the workers join.
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void multi_line_statement() {
+  // mo: the comment attaches to the whole statement, including the
+  // mo: continuation line that carries the order argument.
+  counter.fetch_add(2,
+                    std::memory_order_relaxed);
+}
+
+void suppressed_site() {
+  // A deliberate escape hatch for the one-off case.
+  flag.store(1, std::memory_order_release);  // lint: allow(mo-justify)
+}

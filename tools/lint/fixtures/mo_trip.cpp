@@ -1,0 +1,22 @@
+// Fixture: memory-order arguments without a `// mo:` justification — the
+// rule must flag all three sites (and not be fooled by the decoys).
+#include <atomic>
+
+std::atomic<int> counter{0};
+std::atomic<int> flag{0};
+
+int bare_load() {
+  return counter.load(std::memory_order_relaxed);  // just a comment, no tag
+}
+
+void detached_comment() {
+  // mo: this justification is detached by the blank line below it.
+
+  counter.fetch_add(1, std::memory_order_acquire);
+}
+
+void string_decoy() {
+  const char* s = "// mo: inside a string literal does not count";
+  (void)s;
+  flag.store(1, std::memory_order_release);
+}

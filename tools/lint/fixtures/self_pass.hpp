@@ -1,0 +1,10 @@
+#pragma once
+// Fixture: a self-sufficient header — includes everything it uses.
+#include <cstddef>
+#include <vector>
+
+inline std::size_t total(const std::vector<std::size_t>& v) {
+  std::size_t sum = 0;
+  for (std::size_t x : v) sum += x;
+  return sum;
+}

@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: not self-sufficient — uses std::vector and std::size_t without
+// including <vector>/<cstddef>; must fail to compile standalone.
+inline std::size_t total(const std::vector<std::size_t>& v) {
+  std::size_t sum = 0;
+  for (std::size_t x : v) sum += x;
+  return sum;
+}

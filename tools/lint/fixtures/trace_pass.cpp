@@ -1,0 +1,30 @@
+// Fixture: span begins that are RAII or provably paired in-function — the
+// rule must stay silent.
+using SpanId = int;
+
+struct Session {
+  SpanId begin_span(const char*);
+  void end_span(SpanId, double = 0.0);
+};
+
+// RAII spelling: no raw begin_span at all.
+struct Scoped {
+  explicit Scoped(Session* s) : s_(s) { id_ = 0; }
+  Session* s_;
+  SpanId id_;
+};
+
+void paired_in_function(Session& s) {
+  const SpanId id = s.begin_span("stage");
+  // ... work ...
+  s.end_span(id, 1.0);
+}
+
+void paired_on_both_paths(Session& s, bool fail) {
+  const SpanId id = s.begin_span("stage");
+  if (fail) {
+    s.end_span(id);
+    return;
+  }
+  s.end_span(id, 2.0);
+}

@@ -1,0 +1,18 @@
+// Fixture: a raw span begin whose end lives in a *different* function — not
+// provably paired, so the rule must flag it.
+using SpanId = int;
+
+struct Session {
+  SpanId begin_span(const char*);
+  void end_span(SpanId, double = 0.0);
+};
+
+SpanId g_open = 0;
+
+void leak_a_span(Session& s) {
+  g_open = s.begin_span("stage");  // no end_span in this function
+}
+
+void close_it_elsewhere(Session& s) {
+  s.end_span(g_open);
+}

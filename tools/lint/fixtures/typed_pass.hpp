@@ -1,0 +1,17 @@
+#pragma once
+// Fixture: row/column/nnz quantities spelled with the project typedefs, and
+// shape knobs / bit counts that are legitimately raw int — all silent.
+#include <cstdint>
+
+using index_t = std::int32_t;
+using offset_t = std::int64_t;
+
+struct Shape {
+  index_t rows = 0;
+  index_t cols = 0;
+  offset_t nnz = 0;
+  int nnz_per_block = 256;  // block-size knob, not a matrix quantity
+  int row_bits = 0;         // bit count, not an index
+};
+
+index_t row_length(index_t row, const offset_t* row_ptr);

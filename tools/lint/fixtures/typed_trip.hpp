@@ -1,0 +1,10 @@
+#pragma once
+// Fixture: raw int/long used for matrix index quantities in a public
+// header — the rule must flag all four declarations.
+struct BadShape {
+  int rows = 0;
+  long nnz = 0;
+};
+
+int count_row(int row);
+void walk(long total_nnz);
