@@ -29,10 +29,18 @@ Engine<T>::~Engine() {
 
 template <class T>
 JobHandle<T> Engine<T>::submit(Csr<T> a, Csr<T> b, Config cfg) {
+  return submit(std::move(a), std::move(b), cfg, nullptr);
+}
+
+template <class T>
+JobHandle<T> Engine<T>::submit(
+    Csr<T> a, Csr<T> b, Config cfg,
+    std::function<void(JobResult<T>&)> on_complete) {
   auto state = std::make_shared<detail::JobState<T>>();
   state->a = std::move(a);
   state->b = std::move(b);
   state->cfg = cfg;
+  state->on_complete = std::move(on_complete);
   {
     std::lock_guard<std::mutex> lock(m_);
     state->seq = stats_.jobs_submitted;
@@ -107,6 +115,16 @@ void Engine<T>::work_loop() {
       }
       JobResult<T> failed;
       failed.error = e;
+      // The completion hook still fires (moved-from if run_job already
+      // invoked it before throwing — then this is a no-op).
+      if (auto cb = std::exchange(job->on_complete, nullptr)) {
+        try {
+          cb(failed);
+        } catch (...) {
+          // A hook that throws while reporting a failure has nothing left
+          // to report to; the original error stands.
+        }
+      }
       job->complete(std::move(failed), e);
     }
     {
@@ -234,6 +252,11 @@ void Engine<T>::run_job(detail::JobState<T>& job, WorkerContext& ctx) {
         std::max(0, result.stats.restarts));
     if (!error) metrics_ += result.metrics;
   }
+  // Completion hook before publication: the callback owns the result for
+  // its duration (no handle waiter can run until complete()). Moving the
+  // hook out guarantees exactly-once even if it throws and the work_loop
+  // safety net re-reports the job.
+  if (auto cb = std::exchange(job.on_complete, nullptr)) cb(result);
   job.complete(std::move(result), error);
 }
 

@@ -133,6 +133,11 @@ struct JobState {
   Csr<T> b;
   Config cfg;
   std::size_t seq = 0;  ///< submission sequence number (fault injection key)
+  /// Completion hook (may be empty). Invoked exactly once on the worker
+  /// thread, after the job ran but *before* the result is published to the
+  /// handle — the callback has the JobResult to itself, no handle waiter
+  /// can observe or move it concurrently. See Engine::submit overload.
+  std::function<void(JobResult<T>&)> on_complete;
 
   std::mutex m;
   std::condition_variable cv;
@@ -210,6 +215,18 @@ class Engine {
   /// the copy, or pass lvalues to keep the caller's matrices.
   JobHandle<T> submit(Csr<T> a, Csr<T> b, Config cfg = {});
 
+  /// Non-blocking completion hook: like `submit`, but `on_complete` is
+  /// invoked on the worker thread once the job finishes (success or
+  /// failure — check `JobResult::failed()`), before the result is
+  /// published to the returned handle. The callback may mutate the result;
+  /// what it leaves behind is what handle waiters see. It must not block
+  /// on this job's own handle (the result is not published yet) and should
+  /// stay short — the worker cannot pick up its next job until it returns.
+  /// A throwing callback fails the job with its exception. Serving layers
+  /// (src/serve) use this to chain dispatch without a waiter thread.
+  JobHandle<T> submit(Csr<T> a, Csr<T> b, Config cfg,
+                      std::function<void(JobResult<T>&)> on_complete);
+
   /// Submit every pair and wait for all of them; results are returned in
   /// submission order. A failing job does not throw and does not disturb its
   /// siblings: its entry carries the exception on `JobResult::error` (check
@@ -234,6 +251,17 @@ class Engine {
   }
   [[nodiscard]] unsigned workers() const {
     return static_cast<unsigned>(workers_.size());
+  }
+  /// Jobs queued but not yet picked up by a worker (introspection for
+  /// backpressure layers; racy by nature — a snapshot, not a fence).
+  [[nodiscard]] std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return queue_.size();
+  }
+  /// Jobs submitted and not yet completed (queued + executing).
+  [[nodiscard]] std::size_t in_flight() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return in_flight_;
   }
 
  private:

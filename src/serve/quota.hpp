@@ -1,0 +1,69 @@
+#pragma once
+/// \file quota.hpp
+/// Per-tenant token-bucket quotas for the serving layer, metered in
+/// *predicted cost seconds* (the admission predictor's makespan estimate),
+/// not in jobs: a tenant that submits a handful of huge multiplications
+/// drains its bucket as fast as one that floods tiny ones, so the quota
+/// bounds the work a tenant can take from the device, which is the
+/// resource that is actually shared.
+///
+/// Time is the server's *virtual* clock (the arrival timestamps of the
+/// open-loop trace), never the host wall clock — refills are therefore a
+/// pure function of the trace and the quota decision stream is
+/// deterministic (DESIGN.md §11).
+
+#include <algorithm>
+
+namespace acs::serve {
+
+/// Classic token bucket over a virtual clock. `rate <= 0` means
+/// unmetered: `try_consume` always succeeds and holds no state.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  /// `rate_cost_s_per_s`: cost-seconds of work replenished per virtual
+  /// second. `burst_cost_s`: bucket capacity (also the initial fill).
+  TokenBucket(double rate_cost_s_per_s, double burst_cost_s)
+      : rate_(rate_cost_s_per_s),
+        burst_(std::max(0.0, burst_cost_s)),
+        tokens_(std::max(0.0, burst_cost_s)) {}
+
+  [[nodiscard]] bool unmetered() const { return rate_ <= 0.0; }
+
+  /// Advance the bucket to virtual time `now_s` (monotone; earlier times
+  /// are ignored) and withdraw `cost_s` tokens if available. Returns true
+  /// and consumes on success; false leaves the bucket untouched apart
+  /// from the refill.
+  bool try_consume(double now_s, double cost_s) {
+    if (unmetered()) return true;
+    refill(now_s);
+    if (tokens_ + kSlack < cost_s) return false;
+    tokens_ = std::max(0.0, tokens_ - cost_s);
+    return true;
+  }
+
+  /// Tokens available at virtual time `now_s` (refills as a side effect).
+  double available(double now_s) {
+    refill(now_s);
+    return tokens_;
+  }
+
+ private:
+  /// Absorbs float rounding so a bucket sized for exactly N jobs admits
+  /// all N (burst = N * cost accumulates N additions of cost).
+  static constexpr double kSlack = 1e-12;
+
+  void refill(double now_s) {
+    if (now_s > last_s_) {
+      tokens_ = std::min(burst_, tokens_ + (now_s - last_s_) * rate_);
+      last_s_ = now_s;
+    }
+  }
+
+  double rate_ = 0.0;  ///< <= 0 = unmetered
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  double last_s_ = 0.0;
+};
+
+}  // namespace acs::serve

@@ -1,0 +1,476 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+#include "core/acspgemm.hpp"
+#include "tune/predictor.hpp"
+
+namespace acs::serve {
+
+const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kDone:
+      return "done";
+    case ServeStatus::kFailed:
+      return "failed";
+    case ServeStatus::kRejected:
+      return "rejected";
+    case ServeStatus::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+template <class T>
+Server<T>::Server(ServerConfig config)
+    : cfg_(std::move(config)),
+      admission_(cfg_.admission),
+      drr_(cfg_.drr_quantum_s) {
+  const std::size_t executors = std::max(1u, cfg_.admission.executors);
+  vfree_.assign(executors, 0.0);
+  vbytes_.assign(executors, 0);
+  // Pre-register configured tenants in listed order (part of the
+  // deterministic DRR visiting order); unknown tenants join on first use.
+  for (const TenantConfig& tc : cfg_.tenants) (void)ensure_tenant_locked(tc.name);
+  runtime::EngineConfig ecfg = cfg_.engine;
+  // The server owns tuning: it must know the exact overlay each job ran
+  // with (ServeResult::tuned_applied) to keep results reconstructible by a
+  // direct multiply, so the engine must not re-tune underneath it.
+  ecfg.tuning = tune::TuningMode::kOff;
+  engine_ = std::make_unique<runtime::Engine<T>>(ecfg);
+  max_outstanding_ = engine_->workers() + cfg_.dispatch_slack;
+  if (cfg_.tuning) tuner_thread_ = std::thread([this] { tune_loop(); });
+}
+
+template <class T>
+Server<T>::~Server() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(tune_m_);
+    tune_stop_ = true;
+  }
+  tune_cv_.notify_all();
+  if (tuner_thread_.joinable()) tuner_thread_.join();
+  // engine_ is declared last, so it is destroyed first — and after drain()
+  // it holds no job whose callback could touch the members dying after it.
+}
+
+template <class T>
+std::size_t Server<T>::ensure_tenant_locked(const std::string& name) {
+  const auto it = tenant_index_.find(name);
+  if (it != tenant_index_.end()) return it->second;
+  TenantConfig tc;
+  tc.name = name;
+  for (const TenantConfig& c : cfg_.tenants)
+    if (c.name == name) {
+      tc = c;
+      break;
+    }
+  const std::size_t idx = drr_.add_tenant(tc.weight);
+  TenantRuntime rt;
+  rt.bucket = TokenBucket(tc.quota_cost_s_per_s, tc.quota_burst_cost_s);
+  rt.stats.name = name;
+  rt.stats.weight = tc.weight > 0.0 ? tc.weight : 1.0;
+  tenants_.push_back(std::move(rt));
+  tenant_index_.emplace(name, idx);
+  return idx;
+}
+
+template <class T>
+ServeHandle<T> Server<T>::submit(Csr<T> a, Csr<T> b, SubmitInfo info,
+                                 Config cfg) {
+  auto state = std::make_shared<detail::ServeState<T>>();
+  std::lock_guard<std::mutex> lock(m_);
+
+  // The virtual clock never runs backwards: a stale timestamp is clamped
+  // to the latest arrival so the decision model stays well-defined.
+  const double arrival = std::max(info.arrival_s, last_arrival_s_);
+  last_arrival_s_ = arrival;
+  info.arrival_s = arrival;
+
+  const std::size_t tidx = ensure_tenant_locked(info.tenant);
+  ++tenants_[tidx].stats.submitted;
+  ++totals_.submitted;
+  ACS_TRACE_COUNT(cfg_.trace, serve_submitted, 1);
+
+  // Price the request: features are cached per structure fingerprint (the
+  // extraction pass is the expensive part), the closed-form predictor then
+  // costs one evaluation per submission.
+  const runtime::Fingerprint fp = runtime::fingerprint(a, b);
+  PredictionEntry& pe = predictions_[fp];
+  if (!pe.have_features) {
+    pe.features = tune::extract_features(a, b, cfg_.tuner.sample_stride,
+                                         cfg_.tuner.min_samples);
+    pe.have_features = true;
+  }
+
+  // Graceful degradation, modeled in virtual time so the flag is a pure
+  // function of the trace: the first submission of a fingerprint requests
+  // an asynchronous tune and always runs degraded; later submissions run
+  // degraded while the modeled tune latency has not elapsed.
+  bool degraded = false;
+  if (cfg_.tuning) {
+    if (!pe.tune_requested) {
+      pe.tune_requested = true;
+      pe.tune_ready_s = arrival + cfg_.tune_latency_s;
+      pe.tune_base = cfg;
+      degraded = true;
+      {
+        std::lock_guard<std::mutex> tlock(tune_m_);
+        tune_queue_.push_back(TuneTask{fp, pe.features, cfg});
+      }
+      tune_cv_.notify_one();
+    } else {
+      degraded = arrival < pe.tune_ready_s;
+    }
+  }
+
+  // Admission costs are always predicted under the *submitted* Config, not
+  // the tuned one — the tuned overlay may not be decided yet, and pricing
+  // must not depend on tuner progress. Tuning only makes jobs cheaper than
+  // their admission price, which errs on the safe side for deadlines.
+  const double raw_cost = tune::predict_makespan_s(pe.features, cfg, sizeof(T));
+  const double scaled_cost = std::max(0.0, raw_cost) *
+                             std::max(1.0, cfg_.admission.deadline_safety);
+
+  TenantRuntime& tr = tenants_[tidx];
+  AdmissionDecision d;
+  // Quota pre-check without consuming (an admission-rejected job must not
+  // burn tokens); the slack mirrors TokenBucket::try_consume's.
+  if (!tr.bucket.unmetered() &&
+      tr.bucket.available(arrival) + 1e-12 < scaled_cost) {
+    d.outcome = AdmissionOutcome::kRejectedQuota;
+    d.predicted_cost_s = scaled_cost;
+    d.backlog_jobs = admission_.backlog_jobs(arrival);
+  } else {
+    d = admission_.evaluate(arrival, info.deadline_s, raw_cost);
+    if (d.admitted()) (void)tr.bucket.try_consume(arrival, scaled_cost);
+  }
+  d.degraded_plan = degraded;
+  state->decision = d;
+
+  if (!d.admitted()) {
+    ++totals_.rejected;
+    ACS_TRACE_COUNT(cfg_.trace, serve_rejected, 1);
+    switch (d.outcome) {
+      case AdmissionOutcome::kRejectedDeadline:
+        ++tr.stats.rejected_deadline;
+        break;
+      case AdmissionOutcome::kRejectedQuota:
+        ++tr.stats.rejected_quota;
+        break;
+      case AdmissionOutcome::kRejectedQueueFull:
+        ++tr.stats.rejected_queue_full;
+        break;
+      default:
+        break;
+    }
+    ServeResult<T> r;
+    r.status = ServeStatus::kRejected;
+    r.admission = d;
+    r.tenant = info.tenant;
+    r.priority = info.priority;
+    r.arrival_s = arrival;
+    r.degraded = degraded;
+    state->resolve(std::move(r));
+    return ServeHandle<T>(std::move(state));
+  }
+
+  ++tr.stats.admitted;
+  ++totals_.admitted;
+  ACS_TRACE_COUNT(cfg_.trace, serve_admitted, 1);
+  if (degraded) {
+    ++tr.stats.degraded;
+    ++totals_.degraded;
+    ACS_TRACE_COUNT(cfg_.trace, serve_degraded, 1);
+  }
+
+  JobRec rec;
+  rec.id = next_id_++;
+  rec.tenant = tidx;
+  rec.info = info;
+  rec.cfg = cfg;
+  rec.fp = fp;
+  rec.degraded = degraded;
+  rec.cost_s = d.predicted_cost_s;
+  rec.pool_bytes = estimate_chunk_pool_bytes(a, b, cfg);
+  rec.decision = d;
+  rec.a = std::move(a);
+  rec.b = std::move(b);
+  rec.state = state;
+  ++unresolved_;
+  drr_.enqueue(tidx, QueuedJob{rec.id, rec.cost_s, info.priority, arrival});
+  queued_jobs_.emplace(rec.id, std::move(rec));
+
+  const std::size_t depth = drr_.queued_jobs() + ready_.size();
+  if (depth > totals_.queue_depth_peak) totals_.queue_depth_peak = depth;
+  ACS_TRACE_GAUGE_MAX(cfg_.trace, serve_queue_depth_peak, depth);
+
+  advance_virtual_locked(arrival);
+  pump_locked();
+  return ServeHandle<T>(std::move(state));
+}
+
+template <class T>
+void Server<T>::advance_virtual_locked(double until_s) {
+  const std::size_t ceiling = cfg_.arena_ceiling_bytes;
+  for (;;) {
+    QueuedJob qj;
+    std::size_t tidx = 0;
+    if (!drr_.pop_next(qj, &tidx)) return;
+    const auto it = queued_jobs_.find(qj.id);
+    JobRec rec = std::move(it->second);
+    queued_jobs_.erase(it);
+
+    double start =
+        std::max(*std::min_element(vfree_.begin(), vfree_.end()),
+                 rec.info.arrival_s);
+
+    if (ceiling > 0) {
+      if (rec.pool_bytes > ceiling) {
+        // Can never fit under the ceiling, on an idle machine or otherwise.
+        resolve_shed_locked(std::move(rec));
+        continue;
+      }
+      bool gated = false;
+      for (;;) {
+        std::size_t busy = 0;
+        for (std::size_t i = 0; i < vfree_.size(); ++i)
+          if (vfree_[i] > start) busy += vbytes_[i];
+        if (busy + rec.pool_bytes <= ceiling) break;
+        gated = true;
+        // Wait (in virtual time) for the earliest modeled completion; the
+        // busy set is non-empty here, so the bound is finite and shrinks.
+        double nf = std::numeric_limits<double>::infinity();
+        for (const double f : vfree_)
+          if (f > start) nf = std::min(nf, f);
+        start = nf;
+      }
+      // Memory pressure sheds the queue tail rather than letting deadlines
+      // rot: lowest priority first, beyond the configured bound.
+      if (gated) shed_over_cap_locked();
+    }
+
+    if (start > until_s) {
+      // Dispatching this job belongs to the future — a later arrival may
+      // out-rank it under DRR by then. Put it back untouched.
+      drr_.requeue_front(tidx, qj);
+      queued_jobs_.emplace(qj.id, std::move(rec));
+      return;
+    }
+
+    rec.virtual_start_s = start;
+    rec.virtual_finish_s = start + rec.cost_s;
+    rec.deadline_missed = rec.virtual_finish_s > rec.info.deadline_s;
+    TenantRuntime& tr = tenants_[rec.tenant];
+    tr.stats.served_cost_s += rec.cost_s;
+    if (rec.deadline_missed) {
+      ++tr.stats.deadline_misses;
+      ++totals_.deadline_misses;
+      ACS_TRACE_COUNT(cfg_.trace, serve_deadline_misses, 1);
+    }
+
+    const auto slot = std::min_element(vfree_.begin(), vfree_.end());
+    const auto e = static_cast<std::size_t>(
+        std::distance(vfree_.begin(), slot));
+    vfree_[e] = rec.virtual_finish_s;
+    vbytes_[e] = rec.pool_bytes;
+    ready_.push_back(std::move(rec));
+  }
+}
+
+template <class T>
+void Server<T>::shed_over_cap_locked() {
+  const std::size_t cap = cfg_.shed_queue_jobs;
+  if (cap == 0) return;  // shedding disabled: gated jobs wait
+  QueuedJob qj;
+  std::size_t tidx = 0;
+  while (drr_.queued_jobs() > cap && drr_.shed_lowest_priority(qj, &tidx)) {
+    const auto it = queued_jobs_.find(qj.id);
+    JobRec rec = std::move(it->second);
+    queued_jobs_.erase(it);
+    resolve_shed_locked(std::move(rec));
+  }
+}
+
+template <class T>
+void Server<T>::resolve_shed_locked(JobRec rec) {
+  TenantRuntime& tr = tenants_[rec.tenant];
+  ++tr.stats.shed;
+  ++totals_.shed;
+  ACS_TRACE_COUNT(cfg_.trace, serve_shed, 1);
+  ServeResult<T> r = make_result_locked(rec, ServeStatus::kShed);
+  // The handle's decision stays "admitted" (it was); the result records
+  // what ultimately happened.
+  r.admission.outcome = AdmissionOutcome::kShedMemory;
+  rec.state->resolve(std::move(r));
+  --unresolved_;
+  drain_cv_.notify_all();
+}
+
+template <class T>
+ServeResult<T> Server<T>::make_result_locked(const JobRec& rec,
+                                             ServeStatus status) {
+  ServeResult<T> r;
+  r.status = status;
+  r.admission = rec.decision;
+  r.tenant = tenants_[rec.tenant].stats.name;
+  r.priority = rec.info.priority;
+  r.arrival_s = rec.info.arrival_s;
+  r.degraded = rec.degraded;
+  r.virtual_start_s = rec.virtual_start_s;
+  r.virtual_finish_s = rec.virtual_finish_s;
+  r.deadline_missed = rec.deadline_missed;
+  return r;
+}
+
+template <class T>
+void Server<T>::pump_locked() {
+  const std::size_t ceiling = cfg_.arena_ceiling_bytes;
+  while (outstanding_ < max_outstanding_ && !ready_.empty()) {
+    // Real backpressure mirrors the virtual gate: never stack predicted
+    // pool demand past the ceiling (unless the job would be alone).
+    if (ceiling > 0 && outstanding_ > 0 &&
+        outstanding_pool_bytes_ + ready_.front().pool_bytes > ceiling)
+      break;
+    JobRec rec = std::move(ready_.front());
+    ready_.pop_front();
+
+    TunedParams tuned;
+    if (cfg_.tuning && !rec.degraded)
+      tuned = ensure_tuned_locked(rec.fp, rec.cfg);
+    Config eff = rec.cfg;
+    tuned.apply(eff);
+
+    ServeResult<T> proto = make_result_locked(rec, ServeStatus::kDone);
+    proto.tuned_applied = tuned;
+    ++outstanding_;
+    outstanding_pool_bytes_ += rec.pool_bytes;
+    auto st = rec.state;
+    const std::size_t tidx = rec.tenant;
+    const std::size_t pool = rec.pool_bytes;
+    engine_->submit(
+        std::move(rec.a), std::move(rec.b), eff,
+        [this, st, tidx, pool,
+         proto = std::move(proto)](runtime::JobResult<T>& jr) mutable {
+          const bool job_failed = jr.failed();
+          proto.status = job_failed ? ServeStatus::kFailed : ServeStatus::kDone;
+          proto.job = std::move(jr);
+          // Resolve before the accounting decrement: once drain() sees
+          // unresolved_ == 0, every handle is guaranteed resolved.
+          st->resolve(std::move(proto));
+          {
+            std::lock_guard<std::mutex> lock(m_);
+            --outstanding_;
+            outstanding_pool_bytes_ -= pool;
+            TenantRuntime& tr = tenants_[tidx];
+            if (job_failed) {
+              ++tr.stats.failed;
+              ++totals_.failed;
+            } else {
+              ++tr.stats.completed;
+              ++totals_.completed;
+            }
+            --unresolved_;
+            pump_locked();
+          }
+          drain_cv_.notify_all();
+        });
+  }
+}
+
+template <class T>
+TunedParams Server<T>::ensure_tuned_locked(const runtime::Fingerprint& fp,
+                                           const Config& base) {
+  PredictionEntry& pe = predictions_[fp];
+  if (!pe.tuned_computed) {
+    // The tuner thread has not gotten here yet — rank synchronously.
+    // Tuning is a pure function of (features, first-submitted Config), so
+    // whichever side computes first stores the same overlay.
+    const tune::AutoTuner tuner(cfg_.tuner);
+    pe.tuned = tuner.choose(pe.features,
+                            pe.tune_requested ? pe.tune_base : base,
+                            sizeof(T), 0.0);
+    pe.tuned_computed = true;
+  }
+  return pe.tuned;
+}
+
+template <class T>
+void Server<T>::tune_loop() {
+  for (;;) {
+    TuneTask task;
+    {
+      std::unique_lock<std::mutex> lock(tune_m_);
+      tune_cv_.wait(lock, [&] { return tune_stop_ || !tune_queue_.empty(); });
+      if (tune_queue_.empty()) return;  // tune_stop_ set and queue drained
+      task = std::move(tune_queue_.front());
+      tune_queue_.pop_front();
+    }
+    const tune::AutoTuner tuner(cfg_.tuner);
+    const TunedParams p =
+        tuner.choose(task.features, task.base, sizeof(T), 0.0);
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      PredictionEntry& pe = predictions_[task.fp];
+      if (!pe.tuned_computed) {
+        pe.tuned = p;
+        pe.tuned_computed = true;
+      }
+    }
+  }
+}
+
+template <class T>
+void Server<T>::drain() {
+  std::unique_lock<std::mutex> lock(m_);
+  advance_virtual_locked(std::numeric_limits<double>::infinity());
+  pump_locked();
+  drain_cv_.wait(lock, [&] { return unresolved_ == 0; });
+}
+
+template <class T>
+ServeStats Server<T>::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  ServeStats s = totals_;
+  s.tenants.clear();
+  s.tenants.reserve(tenants_.size());
+  for (const TenantRuntime& tr : tenants_) s.tenants.push_back(tr.stats);
+  s.queued_jobs = drr_.queued_jobs() + ready_.size();
+  s.in_flight_jobs = outstanding_;
+  return s;
+}
+
+template <class T>
+trace::MetricsSnapshot Server<T>::metrics() const {
+  // Engine first, without holding m_ (each side locks only its own mutex).
+  trace::MetricsSnapshot m = engine_->metrics();
+  std::lock_guard<std::mutex> lock(m_);
+  m.counters.serve_submitted = totals_.submitted;
+  m.counters.serve_admitted = totals_.admitted;
+  m.counters.serve_rejected = totals_.rejected;
+  m.counters.serve_shed = totals_.shed;
+  m.counters.serve_degraded = totals_.degraded;
+  m.counters.serve_deadline_misses = totals_.deadline_misses;
+  m.counters.serve_queue_depth_peak = totals_.queue_depth_peak;
+  m.serve_tenants.reserve(tenants_.size());
+  for (const TenantRuntime& tr : tenants_) {
+    trace::TenantServeCounters row;
+    row.tenant = tr.stats.name;
+    row.submitted = tr.stats.submitted;
+    row.admitted = tr.stats.admitted;
+    row.rejected = tr.stats.rejected_deadline + tr.stats.rejected_quota +
+                   tr.stats.rejected_queue_full;
+    row.shed = tr.stats.shed;
+    row.completed = tr.stats.completed;
+    row.degraded = tr.stats.degraded;
+    row.deadline_misses = tr.stats.deadline_misses;
+    m.serve_tenants.push_back(std::move(row));
+  }
+  return m;
+}
+
+template class Server<float>;
+template class Server<double>;
+
+}  // namespace acs::serve

@@ -1,0 +1,405 @@
+#pragma once
+/// \file server.hpp
+/// Multi-tenant SpGEMM serving layer on top of the runtime engine. A
+/// `Server` accepts asynchronous submissions tagged with a tenant, a
+/// priority and a deadline, prices each one through the tuner's cost
+/// predictor (admission.hpp), meters tenants with token-bucket quotas
+/// (quota.hpp), orders admitted jobs with deficit-round-robin weighted
+/// fair scheduling (scheduler.hpp) and dispatches them into an owned
+/// `runtime::Engine` worker pool via its non-blocking completion hooks.
+///
+/// Two timelines, one contract. All *decisions* — admission, quota,
+/// degradation, fair-share order, deadline misses, memory sheds — are made
+/// on a deterministic virtual timeline driven purely by the submissions'
+/// arrival timestamps and structure-derived cost predictions: a bank of
+/// `AdmissionConfig::executors` modeled executors is advanced to each
+/// arrival, DRR picks what they serve, and a modeled chunk-pool occupancy
+/// enforces `ServerConfig::arena_ceiling_bytes`. Real execution merely
+/// follows the virtually-dispatched order at whatever pace the engine's
+/// workers sustain. Consequences (property-tested in tests/test_serve.cpp):
+///   - for a fixed arrival trace the full decision stream (and every
+///     serve counter) is byte-identical regardless of `EngineConfig::workers`;
+///   - every served result is bit-identical to a direct `acs::multiply`
+///     with the same effective Config (the engine runs with tuning off and
+///     the server applies its own `TunedParams` overlay, reported on
+///     `ServeResult::tuned_applied`).
+///
+/// Graceful degradation: the first submission of a structure fingerprint
+/// requests an asynchronous tune and is served immediately with the
+/// untuned default plan (`degraded` flag); later submissions run tuned
+/// once the modeled tune latency has elapsed. See DESIGN.md §11.
+///
+/// Example:
+/// \code
+///   acs::serve::ServerConfig cfg;
+///   cfg.engine.workers = 4;
+///   cfg.tenants = {{.name = "interactive", .weight = 3.0},
+///                  {.name = "batch", .weight = 1.0}};
+///   acs::serve::Server<double> server(cfg);
+///   auto h = server.submit(a, b, {.tenant = "interactive",
+///                                 .arrival_s = 0.0, .deadline_s = 0.5});
+///   if (h.decision().admitted()) use(h.result().job.c);
+/// \endcode
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/plan.hpp"
+#include "matrix/csr.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/fingerprint.hpp"
+#include "serve/admission.hpp"
+#include "serve/quota.hpp"
+#include "serve/scheduler.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+#include "tune/features.hpp"
+#include "tune/tuner.hpp"
+
+namespace acs::serve {
+
+/// One tenant's share and quota. Tenants not pre-registered in
+/// `ServerConfig::tenants` are created on first use with these defaults.
+struct TenantConfig {
+  std::string name;
+  /// DRR weight: relative share of predicted cost-seconds under contention.
+  double weight = 1.0;
+  /// Token-bucket refill in predicted cost-seconds per virtual second;
+  /// <= 0 = unmetered.
+  double quota_cost_s_per_s = 0.0;
+  /// Bucket capacity (and initial fill) in predicted cost-seconds.
+  double quota_burst_cost_s = 0.0;
+};
+
+struct ServerConfig {
+  /// Engine running the admitted jobs. `EngineConfig::tuning` is forced to
+  /// kOff — the server owns tuning (it must know the exact parameter
+  /// overlay per job to keep results reconstructible; see file header).
+  runtime::EngineConfig engine;
+  std::vector<TenantConfig> tenants;
+  /// Deadline-based admission control (modeled executors, safety factor,
+  /// backlog cap). `executors` also sizes the virtual dispatch timeline.
+  AdmissionConfig admission;
+  /// DRR deficit quantum in predicted cost-seconds per round-robin visit.
+  double drr_quantum_s = 1e-3;
+  /// Server-side cost-model tuning (kStaticCostModel semantics). Off: every
+  /// job runs its submitted Config and nothing is ever `degraded`.
+  bool tuning = true;
+  tune::TunerOptions tuner;
+  /// Modeled virtual latency between the first request of a fingerprint
+  /// and its tuned plan becoming warm. The first submission is always
+  /// degraded; later ones are degraded while `arrival < first + latency`.
+  double tune_latency_s = 0.0;
+  /// Ceiling on the modeled chunk-pool bytes of concurrently running jobs
+  /// (and on the real dispatch pipeline); 0 = unlimited. A job whose own
+  /// predicted pool demand exceeds the ceiling is shed outright.
+  std::size_t arena_ceiling_bytes = 0;
+  /// While the virtual timeline is memory-gated, queued jobs beyond this
+  /// count are shed lowest-priority-first; 0 = never shed (jobs wait).
+  std::size_t shed_queue_jobs = 0;
+  /// Real-dispatch lookahead: jobs handed to the engine beyond its worker
+  /// count, so a finishing worker never idles waiting for the server.
+  std::size_t dispatch_slack = 1;
+  /// Optional sink for the `serve_*` trace counters.
+  trace::TraceSession* trace = nullptr;
+};
+
+/// Terminal state of a submission.
+enum class ServeStatus {
+  kDone = 0,   ///< served; `ServeResult::job` holds the product
+  kFailed,     ///< admitted but the multiplication failed (job.error set)
+  kRejected,   ///< refused at admission (see AdmissionDecision::outcome)
+  kShed,       ///< admitted, then dropped under the arena ceiling
+};
+
+[[nodiscard]] const char* to_string(ServeStatus status);
+
+/// Submission tags. Arrivals are virtual timestamps of an open-loop trace
+/// and must be non-decreasing per server (earlier values are clamped).
+struct SubmitInfo {
+  std::string tenant = "default";
+  int priority = 0;  ///< shed victims are picked lowest-first
+  double arrival_s = 0.0;
+  /// Absolute virtual deadline; infinity = none.
+  double deadline_s = std::numeric_limits<double>::infinity();
+};
+
+template <class T>
+struct ServeResult {
+  ServeStatus status = ServeStatus::kRejected;
+  AdmissionDecision admission;
+  std::string tenant;
+  int priority = 0;
+  double arrival_s = 0.0;
+  /// True when the job ran with the untuned default plan (tuned plan cold).
+  bool degraded = false;
+  /// Parameter overlay the job actually ran with (invalid when degraded or
+  /// tuning off): apply it to the submitted Config to reproduce the run
+  /// with a direct `acs::multiply` bit-identically.
+  TunedParams tuned_applied;
+  /// Virtual service window on the modeled executors (0 when not served).
+  double virtual_start_s = 0.0;
+  double virtual_finish_s = 0.0;
+  /// Virtual finish past the requested deadline (decided at dispatch on
+  /// the deterministic timeline, counted in `serve_deadline_misses`).
+  bool deadline_missed = false;
+  /// Engine result when the job ran (kDone / kFailed); default otherwise.
+  runtime::JobResult<T> job;
+
+  [[nodiscard]] bool served() const { return status == ServeStatus::kDone; }
+  /// Virtual queueing + service latency of a served job.
+  [[nodiscard]] double virtual_latency_s() const {
+    return virtual_finish_s - arrival_s;
+  }
+};
+
+namespace detail {
+
+template <class T>
+struct ServeState {
+  /// Set before the handle is returned; immutable afterwards.
+  AdmissionDecision decision;
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  ServeResult<T> result;
+
+  void resolve(ServeResult<T> r) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      if (done) return;
+      result = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+template <class T>
+class Server;
+
+/// Future-like handle to a submission. The admission decision is available
+/// immediately; the result once the job resolves (served, failed, rejected
+/// or shed — rejected handles resolve before `submit` returns). Cheap to
+/// copy; all copies refer to the same result.
+template <class T>
+class ServeHandle {
+ public:
+  ServeHandle() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// The structured admission verdict, available without waiting.
+  [[nodiscard]] const AdmissionDecision& decision() const {
+    return state_->decision;
+  }
+
+  [[nodiscard]] bool ready() const {
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->done;
+  }
+
+  void wait() const {
+    std::unique_lock<std::mutex> lock(state_->m);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+
+  /// Block until the submission resolves. Never throws: engine failures
+  /// surface as `status == kFailed` with `job.error` set. The reference
+  /// stays valid as long as any handle to the submission exists.
+  [[nodiscard]] ServeResult<T>& result() const {
+    wait();
+    return state_->result;
+  }
+
+ private:
+  friend class Server<T>;
+  explicit ServeHandle(std::shared_ptr<detail::ServeState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::ServeState<T>> state_;
+};
+
+/// Per-tenant serving statistics (all counters deterministic for a fixed
+/// arrival trace; `completed`/`failed` lag until the real engine catches
+/// up — `Server::drain()` first if exact totals matter).
+struct TenantStats {
+  std::string name;
+  double weight = 1.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;  ///< successfully served
+  std::uint64_t failed = 0;
+  std::uint64_t degraded = 0;   ///< admitted on the untuned default plan
+  std::uint64_t deadline_misses = 0;
+  /// Predicted cost-seconds virtually dispatched for this tenant — the
+  /// fair-share currency (Jain's index over these is the fairness gate).
+  double served_cost_s = 0.0;
+};
+
+struct ServeStats {
+  std::vector<TenantStats> tenants;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t deadline_misses = 0;
+  /// Peak admitted-but-not-yet-dispatched jobs (DRR queues + ready list).
+  std::size_t queue_depth_peak = 0;
+  std::size_t queued_jobs = 0;    ///< snapshot: awaiting real dispatch
+  std::size_t in_flight_jobs = 0; ///< snapshot: running in the engine
+};
+
+template <class T>
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  /// Drains every admitted job, then stops the tuner thread and the engine.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submit C = A·B tagged with `info`. Admission control, quota metering
+  /// and the degradation decision run synchronously (the decision is on the
+  /// returned handle); execution is asynchronous. Operands are taken by
+  /// value — move them in to avoid the copy. Submissions must be made in
+  /// arrival order; concurrent callers are serialized, with the
+  /// interleaving then defining the trace.
+  ServeHandle<T> submit(Csr<T> a, Csr<T> b, SubmitInfo info, Config cfg = {});
+
+  /// Flush the virtual timeline (dispatching everything still queued) and
+  /// block until every admitted job has resolved.
+  void drain();
+
+  [[nodiscard]] ServeStats stats() const;
+  /// Engine metrics plus the serve counter block and per-tenant rows.
+  [[nodiscard]] trace::MetricsSnapshot metrics() const;
+  [[nodiscard]] runtime::Engine<T>& engine() { return *engine_; }
+  [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+
+ private:
+  /// Per-fingerprint prediction + tune state (all virtual-time; mutated
+  /// only under m_ in submission order, except `tuned`/`tuned_computed`
+  /// which the tuner thread fills in — never read by a decision).
+  struct PredictionEntry {
+    bool have_features = false;
+    tune::TuneFeatures features;
+    bool tune_requested = false;
+    double tune_ready_s = 0.0;  ///< modeled warm time of the tuned plan
+    /// Config the tune ranks against (the first submission's), pinned so
+    /// the overlay is a pure function of the trace whichever thread
+    /// computes it first.
+    Config tune_base;
+    bool tuned_computed = false;
+    TunedParams tuned;
+  };
+
+  /// One admitted job between admission and real dispatch.
+  struct JobRec {
+    std::uint64_t id = 0;
+    std::size_t tenant = 0;
+    SubmitInfo info;
+    Config cfg;  ///< as submitted; the overlay is applied at dispatch
+    runtime::Fingerprint fp;
+    bool degraded = false;
+    double cost_s = 0.0;            ///< safety-scaled predicted makespan
+    std::size_t pool_bytes = 0;     ///< predicted chunk-pool demand
+    AdmissionDecision decision;
+    double virtual_start_s = 0.0;   ///< filled at virtual dispatch
+    double virtual_finish_s = 0.0;
+    bool deadline_missed = false;
+    Csr<T> a;
+    Csr<T> b;
+    std::shared_ptr<detail::ServeState<T>> state;
+  };
+
+  struct TenantRuntime {
+    TokenBucket bucket;
+    TenantStats stats;
+  };
+
+  struct TuneTask {
+    runtime::Fingerprint fp;
+    tune::TuneFeatures features;
+    Config base;
+  };
+
+  std::size_t ensure_tenant_locked(const std::string& name);
+  /// Advance the virtual dispatch timeline to `until_s` (inclusive):
+  /// modeled executors pick DRR winners, the arena ceiling gates/sheds,
+  /// misses are counted, dispatched jobs move to the ready list.
+  void advance_virtual_locked(double until_s);
+  /// Shed queued jobs beyond `shed_queue_jobs` (memory-gated path only).
+  void shed_over_cap_locked();
+  void resolve_shed_locked(JobRec rec);
+  /// Hand ready jobs to the engine, bounded by workers + dispatch_slack
+  /// and by the arena ceiling over real in-flight predicted pool bytes.
+  void pump_locked();
+  /// Tuned overlay for `fp`, computing synchronously if the tuner thread
+  /// has not gotten to it yet (same deterministic result either way).
+  TunedParams ensure_tuned_locked(const runtime::Fingerprint& fp,
+                                  const Config& base);
+  void tune_loop();
+  ServeResult<T> make_result_locked(const JobRec& rec, ServeStatus status);
+
+  ServerConfig cfg_;
+  std::size_t max_outstanding_ = 1;
+
+  mutable std::mutex m_;
+  std::condition_variable drain_cv_;
+  AdmissionModel admission_;
+  DrrScheduler drr_;
+  std::unordered_map<std::string, std::size_t> tenant_index_;
+  std::vector<TenantRuntime> tenants_;
+  std::unordered_map<std::uint64_t, JobRec> queued_jobs_;  ///< in DRR
+  std::deque<JobRec> ready_;  ///< virtually dispatched, awaiting the engine
+  /// Virtual dispatch executors: free time + pool bytes of current job.
+  std::vector<double> vfree_;
+  std::vector<std::size_t> vbytes_;
+  std::unordered_map<runtime::Fingerprint, PredictionEntry,
+                     runtime::FingerprintHash>
+      predictions_;
+  std::uint64_t next_id_ = 0;
+  double last_arrival_s_ = 0.0;
+  std::size_t outstanding_ = 0;  ///< jobs inside the engine
+  std::size_t outstanding_pool_bytes_ = 0;
+  std::size_t unresolved_ = 0;   ///< admitted jobs not yet resolved
+  ServeStats totals_;
+
+  std::mutex tune_m_;
+  std::condition_variable tune_cv_;
+  std::deque<TuneTask> tune_queue_;
+  bool tune_stop_ = false;
+  std::thread tuner_thread_;
+
+  /// Constructed last (after every member its completion callbacks touch),
+  /// destroyed first.
+  std::unique_ptr<runtime::Engine<T>> engine_;
+};
+
+extern template class Server<float>;
+extern template class Server<double>;
+
+}  // namespace acs::serve

@@ -31,6 +31,12 @@ struct ExportOptions {
                                        const ExportOptions& opts = {});
 [[nodiscard]] std::string to_table(const TraceSession& session);
 
+/// Serving-layer view of a `MetricsSnapshot` (serve::Server::metrics()):
+/// the aggregate serve counters plus one row per tenant. Deterministic —
+/// no wall-clock fields — so both are golden-testable.
+[[nodiscard]] std::string to_table(const MetricsSnapshot& m);
+[[nodiscard]] std::string to_flat_json(const MetricsSnapshot& m);
+
 /// Simulated time summed per canonical stage (see `kStageNames`) over all
 /// spans that are `root` or descendants of `root`; `root == kNoSpan` sums
 /// the whole session.

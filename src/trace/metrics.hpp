@@ -9,7 +9,9 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "trace/trace.hpp"
 
@@ -23,6 +25,22 @@ inline constexpr std::size_t kNumStages = kStageNames.size();
 
 /// Index of `name` in `kStageNames`, or -1 for non-stage span names.
 [[nodiscard]] int stage_index(std::string_view name);
+
+/// Per-tenant admission/dispatch counters of the serving layer
+/// (src/serve). Aggregation merges rows by tenant name.
+struct TenantServeCounters {
+  std::string tenant;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;  ///< deadline + quota + queue-full refusals
+  std::uint64_t shed = 0;      ///< admitted, dropped under memory pressure
+  std::uint64_t completed = 0;
+  std::uint64_t degraded = 0;  ///< served on the untuned default plan
+  std::uint64_t deadline_misses = 0;
+
+  friend bool operator==(const TenantServeCounters&,
+                         const TenantServeCounters&) = default;
+};
 
 struct MetricsSnapshot {
   std::uint64_t jobs = 0;
@@ -41,7 +59,11 @@ struct MetricsSnapshot {
   std::uint64_t pool_bytes = 0;       ///< high-water chunk-pool capacity
   std::uint64_t pool_used_bytes = 0;  ///< high-water chunk-pool usage
   /// Trace counters aggregated over jobs; all-zero when tracing was off.
+  /// The `serve_*` block is filled by `serve::Server::metrics()`.
   CountersSnapshot counters;
+  /// Per-tenant serving counters (empty outside the serving layer); `+=`
+  /// merges rows by tenant name, appending unseen tenants in order.
+  std::vector<TenantServeCounters> serve_tenants;
 
   MetricsSnapshot& operator+=(const MetricsSnapshot& o);
 

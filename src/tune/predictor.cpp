@@ -315,4 +315,10 @@ CostBreakdown predict_cost(const TuneFeatures& f, const Config& cfg,
   return out;
 }
 
+double predict_makespan_s(const TuneFeatures& f, const Config& cfg,
+                          std::size_t value_bytes,
+                          double products_override) {
+  return predict_cost(f, cfg, value_bytes, products_override).total_s;
+}
+
 }  // namespace acs::tune

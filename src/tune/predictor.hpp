@@ -52,4 +52,14 @@ CostBreakdown predict_cost(const TuneFeatures& f, const Config& cfg,
                            std::size_t value_bytes,
                            double products_override = 0.0);
 
+/// Predicted device makespan (`CostBreakdown::total_s`) of one C = A·B in
+/// simulated seconds — the serving layer's pricing seam: admission control
+/// (serve/admission.hpp) charges every request this quantity against
+/// deadlines, token-bucket quotas and the fair scheduler. Deterministic
+/// like `predict_cost`; costs one closed-form evaluation, so pricing a
+/// request is cheap next to running it.
+double predict_makespan_s(const TuneFeatures& f, const Config& cfg,
+                          std::size_t value_bytes,
+                          double products_override = 0.0);
+
 }  // namespace acs::tune
