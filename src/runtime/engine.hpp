@@ -25,6 +25,7 @@
 ///   double rate = engine.plan_counters().hit_rate();
 /// \endcode
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -32,6 +33,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -91,6 +93,37 @@ struct EngineConfig {
   tune::TuningMode tuning = tune::TuningMode::kOff;
   /// Candidate grids + feature sampling used when `tuning` != kOff.
   tune::TunerOptions tuner;
+  /// Cold-tune candidate budget: at most this many feasible candidates are
+  /// priced when a structure fingerprint is tuned for the first time
+  /// (predictor-only ranking, `AutoTuner::rank_budgeted`); 0 = price the
+  /// whole grid. The cold choose never runs the simulated-execution cost
+  /// model either way — with the default kThroughput objective the
+  /// unbudgeted cold pick is identical to the full ranking's, just without
+  /// the O(blocks) makespan pricing per candidate.
+  std::size_t cold_tune_candidate_budget = 0;
+  /// Cold-tune feature budget: caps the A-entries sampled by the cold
+  /// feature extraction (stride is raised and `tuner.min_samples` lowered
+  /// to meet it); 0 = use `tuner` sampling verbatim. Background re-tunes
+  /// and the sync feedback pass always use the full `tuner` sampling.
+  std::size_t cold_tune_feature_samples = 0;
+  /// Run the kFeedback re-ranking on a background thread instead of inline:
+  /// the first job of a fingerprint returns after the predictor-only cold
+  /// tune, and a low-priority tuner thread later swaps the measured-count
+  /// refinement into the plan cache atomically (`PlanCache::upgrade_tuned`).
+  /// Low-priority is real: queued re-tunes defer while foreground jobs are
+  /// in flight (bounded — a saturated engine still refines within ~250 ms)
+  /// so cold bursts never contend with the tuner for cores.
+  /// Jobs in flight during the swap keep the engine's bit-identical output
+  /// contract — tuned parameters only regroup work. No effect unless
+  /// `tuning == kFeedback`.
+  bool background_retune = false;
+  /// When non-empty, tuned parameters persist across processes: the
+  /// constructor loads this file (runtime/tune_persist.hpp) and seeds the
+  /// plan cache with every verified entry, and the destructor (or an
+  /// explicit `flush_tune_cache()`) writes the current tuned plans back.
+  /// A missing, corrupt, or incompatibly-tuned file loads as a clean cold
+  /// start. Requires `use_plan_cache`.
+  std::string tune_cache_path;
 };
 
 /// Aggregate engine statistics (plan and pool details come from
@@ -100,6 +133,13 @@ struct EngineStats {
   std::size_t jobs_completed = 0;  ///< includes failed jobs
   std::size_t jobs_failed = 0;
   std::size_t restarts = 0;        ///< summed over completed jobs
+  /// Predictor-only cold tunes run (first sight of a structure fingerprint
+  /// with no persisted/cached decision).
+  std::size_t cold_tunes = 0;
+  /// Background re-tunes completed by the tuner thread.
+  std::size_t bg_tunes = 0;
+  /// Tuned plans seeded from the persistent tune cache at construction.
+  std::size_t cache_loads = 0;
 };
 
 template <class T>
@@ -238,6 +278,18 @@ class Engine {
   /// Block until every submitted job has completed.
   void wait_all();
 
+  /// Block until the background tuner thread has drained its queue (no-op
+  /// when `EngineConfig::background_retune` is off). Jobs submitted while
+  /// waiting may enqueue further re-tunes; call after `wait_all()` for a
+  /// quiescent engine.
+  void wait_background_tunes();
+
+  /// Write every tuned cached plan to `EngineConfig::tune_cache_path` now
+  /// (the destructor does this automatically). Returns false when no path
+  /// is configured or the write failed; the previous file survives a failed
+  /// write intact.
+  bool flush_tune_cache();
+
   [[nodiscard]] EngineStats stats() const;
   /// Rolling metrics aggregated over every successfully completed job
   /// (stage sim-time totals, restarts, pool high-water marks, trace
@@ -272,8 +324,32 @@ class Engine {
     unsigned scheduler_threads = 0;
   };
 
+  /// One queued background re-tune. Holds the job state (keeping the
+  /// operand matrices alive without copying) and a cleaned base Config —
+  /// the submitted numeric parameters, with the engine-injected trace /
+  /// fault-policy pointers stripped (they may dangle after the job ran and
+  /// a tuning decision must not depend on them anyway).
+  struct BgTune {
+    Fingerprint key;
+    std::shared_ptr<detail::JobState<T>> job;
+    Config base;
+    offset_t measured_products = 0;
+    /// When the task was queued — bounds how long deferral may hold it.
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// True when no submitted job is queued or executing. The background
+  /// tuner polls this to stay off the foreground's critical path.
+  [[nodiscard]] bool foreground_idle() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return in_flight_ == 0;
+  }
+
   void work_loop();
-  void run_job(detail::JobState<T>& job, WorkerContext& ctx);
+  void run_job(const std::shared_ptr<detail::JobState<T>>& job,
+               WorkerContext& ctx);
+  void bg_loop();
+  void load_persisted_tunes();
 
   EngineConfig config_;
   PlanCache cache_;
@@ -287,6 +363,17 @@ class Engine {
   bool stop_ = false;
   EngineStats stats_;
   trace::MetricsSnapshot metrics_;
+
+  std::mutex bg_m_;
+  std::condition_variable bg_cv_;       ///< wakes the tuner thread
+  std::condition_variable bg_idle_cv_;  ///< wakes wait_background_tunes
+  std::deque<BgTune> bg_queue_;
+  bool bg_busy_ = false;  ///< tuner thread holds a dequeued task
+  bool bg_stop_ = false;
+  /// Callers inside wait_background_tunes(); a positive count overrides
+  /// the low-priority deferral so drains finish promptly.
+  int bg_drainers_ = 0;
+  std::thread bg_thread_;  ///< joinable only when background_retune is on
 
   std::vector<std::thread> workers_;
 };

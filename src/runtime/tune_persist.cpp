@@ -1,0 +1,174 @@
+#include "runtime/tune_persist.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace acs::runtime {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'C', 'S', 'T', 'U', 'N', 'E', '1'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8;  // magic + version + digest
+constexpr std::size_t kRecordFields = 10;  // 7 key + 2 packed overlay + count
+constexpr std::size_t kRecordBytes = kRecordFields * 8;
+
+std::uint64_t fnv1a(const unsigned char* data, std::size_t size) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void put_u64(std::vector<unsigned char>& buf, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte)
+    buf.push_back(static_cast<unsigned char>((v >> (byte * 8)) & 0xffu));
+}
+
+void put_i64(std::vector<unsigned char>& buf, std::int64_t v) {
+  put_u64(buf, static_cast<std::uint64_t>(v));
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int byte = 0; byte < 8; ++byte)
+    v |= static_cast<std::uint64_t>(p[byte]) << (byte * 8);
+  return v;
+}
+
+std::int64_t get_i64(const unsigned char* p) {
+  return static_cast<std::int64_t>(get_u64(p));
+}
+
+}  // namespace
+
+const char* to_string(TuneCacheLoad status) {
+  switch (status) {
+    case TuneCacheLoad::kLoaded: return "loaded";
+    case TuneCacheLoad::kMissing: return "missing";
+    case TuneCacheLoad::kBadMagic: return "bad-magic";
+    case TuneCacheLoad::kBadVersion: return "bad-version";
+    case TuneCacheLoad::kTruncated: return "truncated";
+    case TuneCacheLoad::kBadDigest: return "bad-digest";
+    case TuneCacheLoad::kOptionsMismatch: return "options-mismatch";
+  }
+  return "?";
+}
+
+bool save_tune_cache(const std::string& path, std::uint64_t options_hash,
+                     const std::vector<TuneCacheEntry>& entries) {
+  std::vector<unsigned char> payload;
+  payload.reserve(16 + entries.size() * kRecordBytes);
+  put_u64(payload, options_hash);
+  put_u64(payload, entries.size());
+  for (const TuneCacheEntry& e : entries) {
+    put_u64(payload, e.key.row_ptr_hash);
+    put_i64(payload, e.key.rows_a);
+    put_i64(payload, e.key.cols_a);
+    put_i64(payload, e.key.nnz_a);
+    put_i64(payload, e.key.rows_b);
+    put_i64(payload, e.key.cols_b);
+    put_i64(payload, e.key.nnz_b);
+    // Overlay fields packed two-per-word as u32 halves: {npb, retain} and
+    // {threshold, pmc}. Sentinels (-1) round-trip exactly; `valid` is
+    // implied — only valid overlays are persisted, the loader re-asserts it.
+    const auto pack = [](std::int32_t hi, std::int32_t lo) {
+      return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(hi))
+              << 32) |
+             static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo));
+    };
+    put_u64(payload, pack(e.tuned.nnz_per_block, e.tuned.retain_per_thread));
+    put_u64(payload,
+            pack(e.tuned.long_row_threshold, e.tuned.path_merge_max_chunks));
+    put_i64(payload, e.measured_products);
+  }
+
+  std::vector<unsigned char> file;
+  file.reserve(kHeaderBytes + payload.size());
+  for (char c : kMagic) file.push_back(static_cast<unsigned char>(c));
+  for (int byte = 0; byte < 4; ++byte)
+    file.push_back(
+        static_cast<unsigned char>((kTuneCacheVersion >> (byte * 8)) & 0xffu));
+  put_u64(file, fnv1a(payload.data(), payload.size()));
+  file.insert(file.end(), payload.begin(), payload.end());
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(reinterpret_cast<const char*>(file.data()),
+             static_cast<std::streamsize>(file.size()));
+    if (!os) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+TuneCacheLoad load_tune_cache(const std::string& path,
+                              std::uint64_t expected_options_hash,
+                              std::vector<TuneCacheEntry>& out) {
+  out.clear();
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return TuneCacheLoad::kMissing;
+  std::vector<unsigned char> file((std::istreambuf_iterator<char>(is)),
+                                  std::istreambuf_iterator<char>());
+  if (is.bad()) return TuneCacheLoad::kMissing;
+
+  if (file.size() < kHeaderBytes) return TuneCacheLoad::kTruncated;
+  for (std::size_t i = 0; i < 8; ++i)
+    if (file[i] != static_cast<unsigned char>(kMagic[i]))
+      return TuneCacheLoad::kBadMagic;
+  std::uint32_t version = 0;
+  for (int byte = 0; byte < 4; ++byte)
+    version |= static_cast<std::uint32_t>(file[8 + static_cast<std::size_t>(
+                                                       byte)])
+               << (byte * 8);
+  if (version != kTuneCacheVersion) return TuneCacheLoad::kBadVersion;
+
+  const std::uint64_t digest = get_u64(file.data() + 12);
+  const unsigned char* payload = file.data() + kHeaderBytes;
+  const std::size_t payload_size = file.size() - kHeaderBytes;
+  if (payload_size < 16) return TuneCacheLoad::kTruncated;
+  if (fnv1a(payload, payload_size) != digest) return TuneCacheLoad::kBadDigest;
+
+  if (get_u64(payload) != expected_options_hash)
+    return TuneCacheLoad::kOptionsMismatch;
+  const std::uint64_t count = get_u64(payload + 8);
+  if (payload_size != 16 + count * kRecordBytes)
+    return TuneCacheLoad::kTruncated;
+
+  out.reserve(static_cast<std::size_t>(count));
+  const unsigned char* p = payload + 16;
+  for (std::uint64_t i = 0; i < count; ++i, p += kRecordBytes) {
+    TuneCacheEntry e;
+    e.key.row_ptr_hash = get_u64(p);
+    e.key.rows_a = static_cast<index_t>(get_i64(p + 8));
+    e.key.cols_a = static_cast<index_t>(get_i64(p + 16));
+    e.key.nnz_a = get_i64(p + 24);
+    e.key.rows_b = static_cast<index_t>(get_i64(p + 32));
+    e.key.cols_b = static_cast<index_t>(get_i64(p + 40));
+    e.key.nnz_b = get_i64(p + 48);
+    const std::uint64_t w0 = get_u64(p + 56);
+    const std::uint64_t w1 = get_u64(p + 64);
+    const auto hi = [](std::uint64_t w) {
+      return static_cast<std::int32_t>(static_cast<std::uint32_t>(w >> 32));
+    };
+    const auto lo = [](std::uint64_t w) {
+      return static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(w & 0xffffffffull));
+    };
+    e.tuned.nnz_per_block = hi(w0);
+    e.tuned.retain_per_thread = lo(w0);
+    e.tuned.long_row_threshold = hi(w1);
+    e.tuned.path_merge_max_chunks = lo(w1);
+    e.tuned.valid = true;
+    e.measured_products = get_i64(p + 72);
+    out.push_back(e);
+  }
+  return TuneCacheLoad::kLoaded;
+}
+
+}  // namespace acs::runtime

@@ -1,0 +1,80 @@
+#pragma once
+/// \file tune_persist.hpp
+/// Versioned on-disk persistence of tuned parameters, keyed by structure
+/// fingerprint — the warm-restart half of the cold-path work (ROADMAP item
+/// 4): an engine that tuned a workload once serializes
+/// `{Fingerprint, TunedParams, measured products}` records at shutdown and
+/// the next process loads them at startup, so the first job of a known
+/// structure replays the refined plan instead of paying a cold tune.
+///
+/// Format (all integers little-endian, fixed width):
+///   magic   "ACSTUNE1"                                      (8 bytes)
+///   version u32  (kTuneCacheVersion)
+///   digest  u64  FNV-1a over the payload below
+///   payload:
+///     options_hash u64  (tune::options_hash of the writing tuner — grids,
+///                        objective, sampling, predictor calibration)
+///     count        u64
+///     count records of 10 i64/u64 fields each (7-field fingerprint,
+///     2 packed overlay words, measured products)
+///
+/// Loading is corruption-safe by construction: the file is read whole,
+/// then magic, version, payload size and digest are checked before a
+/// single field is parsed, and an `options_hash` that does not match the
+/// reading engine's tuner invalidates everything (stale grids or predictor
+/// calibration must re-tune, not replay). Every failure mode — missing
+/// file, truncation, bit flips, version or options drift — degrades to an
+/// empty entry list with a status code, i.e. a clean cold miss; it never
+/// throws and never yields a partially-parsed `TunedParams`
+/// (property-tested by tests/test_tune_persist.cpp's corruption battery).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "matrix/types.hpp"
+#include "runtime/fingerprint.hpp"
+
+namespace acs::runtime {
+
+inline constexpr std::uint32_t kTuneCacheVersion = 1;
+
+/// One persisted tuning decision.
+struct TuneCacheEntry {
+  Fingerprint key;
+  TunedParams tuned;
+  /// Exact measured product count the decision was (re-)ranked with;
+  /// 0 = tuned from the sampled estimate only.
+  offset_t measured_products = 0;
+};
+
+/// Outcome of `load_tune_cache`. Everything except kLoaded means "cold
+/// start": the entry list is empty and the engine tunes from scratch.
+enum class TuneCacheLoad {
+  kLoaded = 0,       ///< entries parsed and verified
+  kMissing,          ///< file absent or unreadable (the usual first run)
+  kBadMagic,         ///< not a tune-cache file
+  kBadVersion,       ///< written by an incompatible format version
+  kTruncated,        ///< shorter than its header claims
+  kBadDigest,        ///< payload bytes fail the checksum (bit flips)
+  kOptionsMismatch,  ///< tuner grids / objective / calibration changed
+};
+
+[[nodiscard]] const char* to_string(TuneCacheLoad status);
+
+/// Serialize `entries` to `path` (atomically enough for a cache: written
+/// to a temporary sibling, then renamed over the target). Returns false on
+/// any I/O failure; the previous file, if any, is left intact in that case.
+bool save_tune_cache(const std::string& path, std::uint64_t options_hash,
+                     const std::vector<TuneCacheEntry>& entries);
+
+/// Load and verify `path`, appending nothing on failure: `out` is cleared
+/// first and filled only when every check passes. `expected_options_hash`
+/// must equal the stored one (pass `tune::options_hash` of the reading
+/// tuner's options). Never throws.
+TuneCacheLoad load_tune_cache(const std::string& path,
+                              std::uint64_t expected_options_hash,
+                              std::vector<TuneCacheEntry>& out);
+
+}  // namespace acs::runtime

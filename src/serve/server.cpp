@@ -337,8 +337,14 @@ void Server<T>::pump_locked() {
     ready_.pop_front();
 
     TunedParams tuned;
-    if (cfg_.tuning && !rec.degraded)
-      tuned = ensure_tuned_locked(rec.fp, rec.cfg);
+    if (cfg_.tuning) {
+      // Warm dispatches run the full tuned overlay; degraded ones the
+      // budgeted predictor-only cold overlay — the modeled tune latency is
+      // the window in which the cheap decision substitutes for the full
+      // one, exactly the engine's cold-path mechanism.
+      tuned = rec.degraded ? ensure_cold_tuned_locked(rec.fp, rec.cfg)
+                           : ensure_tuned_locked(rec.fp, rec.cfg);
+    }
     Config eff = rec.cfg;
     tuned.apply(eff);
 
@@ -394,6 +400,22 @@ TunedParams Server<T>::ensure_tuned_locked(const runtime::Fingerprint& fp,
     pe.tuned_computed = true;
   }
   return pe.tuned;
+}
+
+template <class T>
+TunedParams Server<T>::ensure_cold_tuned_locked(const runtime::Fingerprint& fp,
+                                                const Config& base) {
+  PredictionEntry& pe = predictions_[fp];
+  if (!pe.cold_computed) {
+    const tune::AutoTuner tuner(cfg_.tuner);
+    pe.cold = tuner.choose_budgeted(
+        pe.features, pe.tune_requested ? pe.tune_base : base, sizeof(T),
+        cfg_.engine.cold_tune_candidate_budget, 0.0);
+    pe.cold_computed = true;
+    ++cold_tunes_;
+    ACS_TRACE_COUNT(cfg_.trace, cold_tunes, 1);
+  }
+  return pe.cold;
 }
 
 template <class T>
@@ -453,6 +475,8 @@ trace::MetricsSnapshot Server<T>::metrics() const {
   m.counters.serve_degraded = totals_.degraded;
   m.counters.serve_deadline_misses = totals_.deadline_misses;
   m.counters.serve_queue_depth_peak = totals_.queue_depth_peak;
+  // Engine tuning is off under a server; the cold tunes are the server's.
+  m.counters.cold_tunes += cold_tunes_;
   m.serve_tenants.reserve(tenants_.size());
   for (const TenantRuntime& tr : tenants_) {
     trace::TenantServeCounters row;

@@ -25,9 +25,13 @@
 ///     `ServeResult::tuned_applied`).
 ///
 /// Graceful degradation: the first submission of a structure fingerprint
-/// requests an asynchronous tune and is served immediately with the
-/// untuned default plan (`degraded` flag); later submissions run tuned
-/// once the modeled tune latency has elapsed. See DESIGN.md §11.
+/// requests an asynchronous tune and is served immediately on the
+/// predictor-only *cold* overlay (`AutoTuner::choose_budgeted` under
+/// `EngineConfig::cold_tune_candidate_budget` — microseconds, no simulated
+/// execution; the `degraded` flag); later submissions run with the full
+/// tuned overlay once the modeled tune latency has elapsed. Both overlays
+/// are pure functions of the trace, so degradation costs no determinism.
+/// See DESIGN.md §11.
 ///
 /// Example:
 /// \code
@@ -93,8 +97,11 @@ struct ServerConfig {
   AdmissionConfig admission;
   /// DRR deficit quantum in predicted cost-seconds per round-robin visit.
   double drr_quantum_s = 1e-3;
-  /// Server-side cost-model tuning (kStaticCostModel semantics). Off: every
-  /// job runs its submitted Config and nothing is ever `degraded`.
+  /// Server-side cost-model tuning (kStaticCostModel semantics). Degraded
+  /// submissions (tuned plan still cold) run on the budgeted predictor-only
+  /// overlay, capped by `engine.cold_tune_candidate_budget`; warm ones on
+  /// the full-grid choice. Off: every job runs its submitted Config and
+  /// nothing is ever `degraded`.
   bool tuning = true;
   tune::TunerOptions tuner;
   /// Modeled virtual latency between the first request of a fingerprint
@@ -142,11 +149,14 @@ struct ServeResult {
   std::string tenant;
   int priority = 0;
   double arrival_s = 0.0;
-  /// True when the job ran with the untuned default plan (tuned plan cold).
+  /// True when the job ran before its fingerprint's full tune was warm —
+  /// served on the budgeted predictor-only cold overlay.
   bool degraded = false;
-  /// Parameter overlay the job actually ran with (invalid when degraded or
-  /// tuning off): apply it to the submitted Config to reproduce the run
-  /// with a direct `acs::multiply` bit-identically.
+  /// Parameter overlay the job actually ran with — the cold budgeted
+  /// choice when `degraded`, the full-grid choice when warm, invalid when
+  /// tuning is off (or no candidate fit the device): apply it to the
+  /// submitted Config to reproduce the run with a direct `acs::multiply`
+  /// bit-identically.
   TunedParams tuned_applied;
   /// Virtual service window on the modeled executors (0 when not served).
   double virtual_start_s = 0.0;
@@ -314,6 +324,11 @@ class Server {
     Config tune_base;
     bool tuned_computed = false;
     TunedParams tuned;
+    /// Budgeted predictor-only overlay served while degraded — computed at
+    /// the first degraded dispatch, a pure function of (features,
+    /// tune_base, candidate budget) like `tuned`.
+    bool cold_computed = false;
+    TunedParams cold;
   };
 
   /// One admitted job between admission and real dispatch.
@@ -361,6 +376,10 @@ class Server {
   /// has not gotten to it yet (same deterministic result either way).
   TunedParams ensure_tuned_locked(const runtime::Fingerprint& fp,
                                   const Config& base);
+  /// Cold overlay for a degraded dispatch of `fp` (predictor-only budgeted
+  /// ranking; computed once per fingerprint, deterministic).
+  TunedParams ensure_cold_tuned_locked(const runtime::Fingerprint& fp,
+                                       const Config& base);
   void tune_loop();
   ServeResult<T> make_result_locked(const JobRec& rec, ServeStatus status);
 
@@ -386,6 +405,7 @@ class Server {
   std::size_t outstanding_ = 0;  ///< jobs inside the engine
   std::size_t outstanding_pool_bytes_ = 0;
   std::size_t unresolved_ = 0;   ///< admitted jobs not yet resolved
+  std::uint64_t cold_tunes_ = 0; ///< budgeted cold overlays computed
   ServeStats totals_;
 
   std::mutex tune_m_;

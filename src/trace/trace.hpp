@@ -76,6 +76,10 @@ struct CountersSnapshot {
   std::uint64_t serve_degraded = 0;  ///< admitted on the untuned default plan
   std::uint64_t serve_deadline_misses = 0;  ///< virtual finish past deadline
   std::uint64_t serve_queue_depth_peak = 0;  ///< gauge: queued + dispatched
+  // Tuning lifecycle (src/tune + runtime engine cold path).
+  std::uint64_t cold_tunes = 0;   ///< predictor-only first-sight tunes
+  std::uint64_t bg_tunes = 0;     ///< background re-tunes completed
+  std::uint64_t cache_loads = 0;  ///< plans seeded from the persisted cache
 
   CountersSnapshot& operator+=(const CountersSnapshot& o);
 };
@@ -107,6 +111,9 @@ struct Counters {
   std::atomic<std::uint64_t> serve_degraded{0};
   std::atomic<std::uint64_t> serve_deadline_misses{0};
   std::atomic<std::uint64_t> serve_queue_depth_peak{0};
+  std::atomic<std::uint64_t> cold_tunes{0};
+  std::atomic<std::uint64_t> bg_tunes{0};
+  std::atomic<std::uint64_t> cache_loads{0};
 
   /// Record one ESC block execution of `iterations` local iterations.
   void record_esc_block(std::uint64_t iterations) {

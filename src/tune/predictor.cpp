@@ -74,7 +74,7 @@ constexpr double kPassUs = 0.1;
 
 CostBreakdown predict_cost(const TuneFeatures& f, const Config& cfg,
                            std::size_t value_bytes,
-                           double products_override) {
+                           double products_override, bool simulate_makespan) {
   CostBreakdown out;
   const sim::DeviceConfig& dev = cfg.device;
   const double vb = static_cast<double>(value_bytes);
@@ -117,7 +117,8 @@ CostBreakdown predict_cost(const TuneFeatures& f, const Config& cfg,
     m.global_bytes_coalesced =
         static_cast<std::uint64_t>((rows_a + out.blocks) * kIdx);
     m.scan_elements = static_cast<std::uint64_t>(rows_a);
-    out.glb_s = kernel_makespan_s(m, std::ceil(rows_a / threads), dev);
+    if (simulate_makespan)
+      out.glb_s = kernel_makespan_s(m, std::ceil(rows_a / threads), dev);
     // One pass over the row pointer on the host, however it is blocked.
     out.serial_s += host_work_s(m, 1.0, 0.0, kPassUs);
   }
@@ -166,7 +167,7 @@ CostBreakdown predict_cost(const TuneFeatures& f, const Config& cfg,
     m.scratch_ops = static_cast<std::uint64_t>(2.0 * esc_chunk_entries);
     m.atomic_ops = static_cast<std::uint64_t>(out.chunks * 3.0 + rows_pb +
                                               out.long_entries * 4.0);
-    out.esc_s = kernel_makespan_s(m, out.blocks, dev);
+    if (simulate_makespan) out.esc_s = kernel_makespan_s(m, out.blocks, dev);
     out.serial_s += host_work_s(m, out.blocks, out.chunks, kEscBlockUs);
   }
 
@@ -222,7 +223,7 @@ CostBreakdown predict_cost(const TuneFeatures& f, const Config& cfg,
     double merge_s = 0.0;
     const auto add = [&](const sim::MetricCounters& m, double blocks,
                          double windows, double per_block_us) {
-      merge_s += kernel_makespan_s(m, blocks, dev);
+      if (simulate_makespan) merge_s += kernel_makespan_s(m, blocks, dev);
       out.serial_s += host_work_s(m, blocks, windows, per_block_us);
     };
     {  // Merge-case assignment scan (MCC).
@@ -305,7 +306,8 @@ CostBreakdown predict_cost(const TuneFeatures& f, const Config& cfg,
         rows_a * kIdx * 2.0 + 2.0 * out.est_nnz_c * (kIdx + vb) +
         2.0 * long_products * (kIdx + vb));
     m.flops = static_cast<std::uint64_t>(2.0 * long_products);
-    out.cc_s = kernel_makespan_s(m, std::max(1.0, out.chunks), dev);
+    if (simulate_makespan)
+      out.cc_s = kernel_makespan_s(m, std::max(1.0, out.chunks), dev);
     // On the host CC is one pass over rows and their segment lists; the
     // per-live-chunk bookkeeping rides on the chunk term.
     out.serial_s += host_work_s(m, 1.0, out.chunks, kPassUs);

@@ -30,50 +30,73 @@ void push_unique(Vec& v, V value) {
   if (std::find(v.begin(), v.end(), value) == v.end()) v.push_back(value);
 }
 
-}  // namespace
+/// Candidate grid axes for one job. Each axis always contains the base
+/// Config's own value, so the identity overlay is in the grid and tuning
+/// can never model-predict worse than the default.
+struct GridAxes {
+  std::vector<int> npbs;
+  std::vector<int> retains;
+  std::vector<int> pmcs;
+  std::vector<index_t> thresholds;
+};
 
-std::vector<Candidate> AutoTuner::rank(const TuneFeatures& f,
-                                       const Config& base,
-                                       std::size_t value_bytes,
-                                       double products_override) const {
-  // Each axis always contains the base Config's own value, so the identity
-  // overlay is in the grid and tuning can never model-predict worse than
-  // the default.
-  std::vector<int> npbs = opts_.nnz_per_block;
-  push_unique(npbs, base.nnz_per_block);
-  std::vector<int> retains = opts_.retain_per_thread;
-  push_unique(retains, base.retain_per_thread);
-  std::vector<int> pmcs = opts_.path_merge_max_chunks;
-  push_unique(pmcs, base.path_merge_max_chunks);
-  std::vector<index_t> thresholds{base.long_row_threshold};
-  if (opts_.tune_long_row_threshold && base.long_row_handling) {
-    push_unique(thresholds, index_t{0});  // auto (= temp_capacity())
-    if (f.b_rows.p90 > 0) push_unique(thresholds, f.b_rows.p90);
-    if (f.b_rows.p99 > 0) push_unique(thresholds, f.b_rows.p99);
+GridAxes build_axes(const TunerOptions& opts, const TuneFeatures& f,
+                    const Config& base) {
+  GridAxes g;
+  g.npbs = opts.nnz_per_block;
+  push_unique(g.npbs, base.nnz_per_block);
+  g.retains = opts.retain_per_thread;
+  push_unique(g.retains, base.retain_per_thread);
+  g.pmcs = opts.path_merge_max_chunks;
+  push_unique(g.pmcs, base.path_merge_max_chunks);
+  g.thresholds.push_back(base.long_row_threshold);
+  if (opts.tune_long_row_threshold && base.long_row_handling) {
+    push_unique(g.thresholds, index_t{0});  // auto (= temp_capacity())
+    if (f.b_rows.p90 > 0) push_unique(g.thresholds, f.b_rows.p90);
+    if (f.b_rows.p99 > 0) push_unique(g.thresholds, f.b_rows.p99);
   }
+  return g;
+}
 
+/// Shared enumerate-prune-price-sort loop of `rank` and `rank_budgeted`.
+/// `max_candidates` bounds the feasible candidates priced (0 = all);
+/// `simulate_makespan` = false is the predictor-only path, which always
+/// ranks by `serial_s` (the makespan is not computed).
+std::vector<Candidate> rank_impl(const TunerOptions& opts,
+                                 const TuneFeatures& f, const Config& base,
+                                 std::size_t value_bytes,
+                                 double products_override,
+                                 std::size_t max_candidates,
+                                 bool simulate_makespan) {
+  const GridAxes g = build_axes(opts, f, base);
   std::vector<Candidate> out;
-  out.reserve(npbs.size() * retains.size() * thresholds.size() * pmcs.size());
-  for (int npb : npbs) {
-    for (int retain : retains) {
-      for (index_t threshold : thresholds) {
-        for (int pmc : pmcs) {
+  out.reserve(g.npbs.size() * g.retains.size() * g.thresholds.size() *
+              g.pmcs.size());
+  const auto budget_left = [&] {
+    return max_candidates == 0 || out.size() < max_candidates;
+  };
+  for (std::size_t i = 0; i < g.npbs.size() && budget_left(); ++i) {
+    for (std::size_t j = 0; j < g.retains.size() && budget_left(); ++j) {
+      for (std::size_t k = 0; k < g.thresholds.size() && budget_left(); ++k) {
+        for (std::size_t l = 0; l < g.pmcs.size() && budget_left(); ++l) {
           Candidate c;
-          c.params.nnz_per_block = npb;
-          c.params.retain_per_thread = retain;
-          c.params.long_row_threshold = threshold;
-          c.params.path_merge_max_chunks = pmc;
+          c.params.nnz_per_block = g.npbs[i];
+          c.params.retain_per_thread = g.retains[j];
+          c.params.long_row_threshold = g.thresholds[k];
+          c.params.path_merge_max_chunks = g.pmcs[l];
           c.params.valid = true;
           Config cfg = base;
           c.params.apply(cfg);
           if (!fits_device(cfg, value_bytes)) continue;
-          c.cost = predict_cost(f, cfg, value_bytes, products_override);
+          c.cost = predict_cost(f, cfg, value_bytes, products_override,
+                                simulate_makespan);
           out.push_back(std::move(c));
         }
       }
     }
   }
-  const bool by_work = opts_.objective == TuneObjective::kThroughput;
+  const bool by_work =
+      !simulate_makespan || opts.objective == TuneObjective::kThroughput;
   std::sort(out.begin(), out.end(),
             [by_work](const Candidate& x, const Candidate& y) {
               const double cx = by_work ? x.cost.serial_s : x.cost.total_s;
@@ -84,12 +107,63 @@ std::vector<Candidate> AutoTuner::rank(const TuneFeatures& f,
   return out;
 }
 
+}  // namespace
+
+std::vector<Candidate> AutoTuner::rank(const TuneFeatures& f,
+                                       const Config& base,
+                                       std::size_t value_bytes,
+                                       double products_override) const {
+  return rank_impl(opts_, f, base, value_bytes, products_override,
+                   /*max_candidates=*/0, /*simulate_makespan=*/true);
+}
+
+std::vector<Candidate> AutoTuner::rank_budgeted(
+    const TuneFeatures& f, const Config& base, std::size_t value_bytes,
+    std::size_t max_candidates, double products_override) const {
+  return rank_impl(opts_, f, base, value_bytes, products_override,
+                   max_candidates, /*simulate_makespan=*/false);
+}
+
+TunedParams AutoTuner::choose_budgeted(const TuneFeatures& f,
+                                       const Config& base,
+                                       std::size_t value_bytes,
+                                       std::size_t max_candidates,
+                                       double products_override) const {
+  auto ranked =
+      rank_budgeted(f, base, value_bytes, max_candidates, products_override);
+  if (ranked.empty()) return {};
+  return ranked.front().params;
+}
+
 TunedParams AutoTuner::choose(const TuneFeatures& f, const Config& base,
                               std::size_t value_bytes,
                               double products_override) const {
   auto ranked = rank(f, base, value_bytes, products_override);
   if (ranked.empty()) return {};
   return ranked.front().params;
+}
+
+std::uint64_t options_hash(const TunerOptions& opts) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xffu;
+      h *= 1099511628211ull;  // FNV-1a prime
+    }
+  };
+  mix(static_cast<std::uint64_t>(kPredictorCalibrationVersion));
+  mix(static_cast<std::uint64_t>(opts.objective));
+  mix(opts.tune_long_row_threshold ? 1u : 0u);
+  mix(static_cast<std::uint64_t>(opts.sample_stride));
+  mix(static_cast<std::uint64_t>(opts.min_samples));
+  const auto mix_grid = [&](const std::vector<int>& grid) {
+    mix(grid.size());
+    for (int v : grid) mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  };
+  mix_grid(opts.nnz_per_block);
+  mix_grid(opts.retain_per_thread);
+  mix_grid(opts.path_merge_max_chunks);
+  return h;
 }
 
 }  // namespace acs::tune

@@ -145,8 +145,38 @@ class AutoTuner {
                                    std::size_t value_bytes,
                                    double products_override = 0.0) const;
 
+  /// Budgeted predictor-only ranking — the cold-tuning path. Enumerates the
+  /// same candidate grid as `rank`, prunes by `fits_device`, but prices
+  /// survivors through the closed-form predictor alone (no
+  /// `sim::schedule_blocks` simulated execution — `CostBreakdown::total_s`
+  /// comes back 0) and ranks them by `serial_s` with the same tie-break.
+  /// `max_candidates` caps how many feasible candidates are priced, taken in
+  /// deterministic grid-enumeration order; 0 = price them all. With an
+  /// unlimited budget and the kThroughput objective this picks exactly the
+  /// plan full `rank` would (both sort by `serial_s`, which the makespan
+  /// skip leaves bit-identical); under kLatency it approximates, trading
+  /// model fidelity for microsecond cold tunes — the background re-tune
+  /// (runtime/engine.hpp) restores the configured objective afterwards.
+  [[nodiscard]] std::vector<Candidate> rank_budgeted(
+      const TuneFeatures& f, const Config& base, std::size_t value_bytes,
+      std::size_t max_candidates, double products_override = 0.0) const;
+
+  /// The budgeted winner (`rank_budgeted(...)[0].params`), or an invalid
+  /// TunedParams when no candidate fits the device.
+  [[nodiscard]] TunedParams choose_budgeted(
+      const TuneFeatures& f, const Config& base, std::size_t value_bytes,
+      std::size_t max_candidates, double products_override = 0.0) const;
+
  private:
   TunerOptions opts_;
 };
+
+/// Deterministic FNV-1a digest of everything a tuning decision depends on
+/// besides the job itself: the candidate grids, objective, threshold
+/// tuning flag, feature-sampling parameters and the predictor calibration
+/// version. The persistent tune cache (runtime/tune_persist.hpp) stamps
+/// files with it, so plans tuned under a different grid, objective or
+/// calibration load as a clean cold miss rather than being replayed stale.
+[[nodiscard]] std::uint64_t options_hash(const TunerOptions& opts);
 
 }  // namespace acs::tune

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <limits>
+#include <thread>
 #include <string>
 #include <utility>
 #include <vector>
@@ -304,13 +306,13 @@ TEST(ServeServer, DegradedAndTunedPathsBothReconstructBitIdentically) {
   scfg.tune_latency_s = 4.0 * c;
   Server<double> server(scfg);
 
-  // Cold fingerprint: served immediately on the untuned default plan.
+  // Cold fingerprint: served immediately on the predictor-only overlay.
   auto cold = server.submit(a, a, SubmitInfo{"alpha", 0, 0.0, kInf});
   EXPECT_TRUE(cold.decision().degraded_plan);
   // Still inside the modeled tune latency: degraded as well.
   auto tepid = server.submit(a, a, SubmitInfo{"alpha", 0, 2.0 * c, kInf});
   EXPECT_TRUE(tepid.decision().degraded_plan);
-  // Past the modeled latency: runs with the tuned overlay.
+  // Past the modeled latency: runs with the full tuned overlay.
   auto warm = server.submit(a, a, SubmitInfo{"alpha", 0, 5.0 * c, kInf});
   EXPECT_FALSE(warm.decision().degraded_plan);
   server.drain();
@@ -321,21 +323,31 @@ TEST(ServeServer, DegradedAndTunedPathsBothReconstructBitIdentically) {
   EXPECT_TRUE(cold.result().degraded);
   EXPECT_TRUE(tepid.result().degraded);
   EXPECT_FALSE(warm.result().degraded);
-  EXPECT_FALSE(cold.result().tuned_applied.valid);
 
-  // Degraded jobs ran the submitted Config verbatim...
-  const auto plain = multiply(a, a);
-  EXPECT_TRUE(cold.result().job.c.equals_exact(plain));
-  EXPECT_TRUE(tepid.result().job.c.equals_exact(plain));
-  // ...and the tuned job is reconstructible by applying the reported
-  // overlay to the submitted Config.
-  Config eff;
-  warm.result().tuned_applied.apply(eff);
-  EXPECT_TRUE(warm.result().job.c.equals_exact(multiply(a, a, eff)));
+  // Degraded jobs ran the budgeted predictor-only cold overlay — reported
+  // on tuned_applied and equal to what choose_budgeted picks directly...
+  const tune::AutoTuner tuner(scfg.tuner);
+  const auto feats = tune::extract_features(a, a, scfg.tuner.sample_stride,
+                                            scfg.tuner.min_samples);
+  const TunedParams expect_cold = tuner.choose_budgeted(
+      feats, Config{}, sizeof(double), scfg.engine.cold_tune_candidate_budget);
+  EXPECT_TRUE(cold.result().tuned_applied.valid);
+  EXPECT_EQ(cold.result().tuned_applied, expect_cold);
+  EXPECT_EQ(tepid.result().tuned_applied, expect_cold);
+
+  // ...and every job — degraded or warm — is reconstructible by applying
+  // the reported overlay to the submitted Config.
+  for (auto* h : {&cold, &tepid, &warm}) {
+    Config eff;
+    h->result().tuned_applied.apply(eff);
+    EXPECT_TRUE(h->result().job.c.equals_exact(multiply(a, a, eff)));
+  }
 
   const auto s = server.stats();
   EXPECT_EQ(s.degraded, 2u);
   EXPECT_EQ(s.completed, 3u);
+  // The cold overlay was computed once and the metrics report it.
+  EXPECT_EQ(server.metrics().counters.cold_tunes, 1u);
 }
 
 TEST(ServeServer, DeadlineRejectionIsStructuredAndResubmissionServes) {
@@ -612,8 +624,8 @@ struct RunOutput {
 
 RunOutput run_trace(const std::vector<Csr<double>>& mats,
                     const std::vector<TraceEvent>& trace, unsigned workers,
-                    std::size_t dispatch_slack, double cbar,
-                    std::size_t pool) {
+                    std::size_t dispatch_slack, double cbar, std::size_t pool,
+                    std::chrono::milliseconds pace = {}) {
   ServerConfig scfg;
   scfg.engine.workers = workers;
   scfg.dispatch_slack = dispatch_slack;
@@ -629,6 +641,7 @@ RunOutput run_trace(const std::vector<Csr<double>>& mats,
   RunOutput out;
   Server<double> server(scfg);
   for (const TraceEvent& e : trace) {
+    if (pace.count() > 0) std::this_thread::sleep_for(pace);
     const auto& am = mats[static_cast<std::size_t>(e.matrix)];
     out.handles.push_back(server.submit(
         am, am, SubmitInfo{e.tenant, e.priority, e.arrival, e.deadline}));
@@ -729,6 +742,67 @@ TEST(ServeProperty, DecisionStreamIndependentOfWorkerCount) {
     EXPECT_EQ(ta.completed, tb.completed);
     EXPECT_EQ(ta.failed, tb.failed);
   }
+}
+
+/// Decisions are a pure function of the submission trace's *virtual*
+/// times, never of wall-clock interleaving. Back-to-back submission (every
+/// arrival lands while the engine still churns on the first jobs) and
+/// paced submission (each tune/execution completes before, between, or
+/// after later arrivals) must produce field-exact decision streams,
+/// identical counters, and bit-identical payloads.
+TEST(ServeProperty, DecisionStreamInvariantToTunerThreadTiming) {
+  std::vector<Csr<double>> mats;
+  mats.push_back(gen_uniform_random<double>(120, 120, 5.0, 1.5, 101));
+  mats.push_back(gen_powerlaw<double>(160, 160, 5.0, 1.6, 80, 102));
+  const double c0 = probe_cost(mats[0], mats[0]);
+  ASSERT_GT(c0, 0.0);
+  std::size_t pool = 0;
+  for (const auto& m : mats)
+    pool = std::max(pool, estimate_chunk_pool_bytes(m, m, Config{}));
+
+  // Repeats of both fingerprints straddling tune_latency_s (= 2 c0): the
+  // cold budgeted overlay serves the early arrivals, the full-grid one the
+  // late arrivals — whichever real thread computed what, whenever.
+  const std::vector<TraceEvent> trace = {
+      {0, "alpha", 3, 0.0, kInf},
+      {1, "beta", 1, 0.0, kInf},
+      {0, "beta", 2, 0.5 * c0, kInf},
+      {1, "alpha", 0, 1.0 * c0, kInf},
+      {0, "alpha", 4, 1.9 * c0, kInf},   // still inside the tune latency
+      {1, "beta", 2, 2.5 * c0, kInf},    // past it: tuned plan
+      {0, "alpha", 1, 3.0 * c0, kInf},
+      {1, "alpha", 5, 4.0 * c0, kInf},
+      {0, "beta", 0, 5.0 * c0, kInf},
+  };
+
+  auto fast = run_trace(mats, trace, 4, 2, c0, pool);
+  auto slow = run_trace(mats, trace, 4, 2, c0, pool,
+                        std::chrono::milliseconds(10));
+
+  ASSERT_EQ(fast.handles.size(), trace.size());
+  int degraded = 0, tuned = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    auto& a = fast.handles[i].result();
+    auto& b = slow.handles[i].result();
+    EXPECT_EQ(a.admission, b.admission) << "submission " << i;
+    EXPECT_EQ(a.status, b.status) << "submission " << i;
+    EXPECT_EQ(a.degraded, b.degraded) << "submission " << i;
+    EXPECT_EQ(a.tuned_applied, b.tuned_applied) << "submission " << i;
+    EXPECT_EQ(a.virtual_start_s, b.virtual_start_s) << "submission " << i;
+    EXPECT_EQ(a.virtual_finish_s, b.virtual_finish_s) << "submission " << i;
+    if (a.served()) {
+      EXPECT_TRUE(a.job.c.equals_exact(b.job.c)) << "submission " << i;
+      degraded += a.degraded ? 1 : 0;
+      tuned += (!a.degraded && a.tuned_applied.valid) ? 1 : 0;
+    }
+  }
+  EXPECT_GE(degraded, 2);  // the trace really exercised the cold overlay
+  EXPECT_GE(tuned, 2);     // ... and the post-latency tuned path
+  EXPECT_EQ(fast.stats.degraded, slow.stats.degraded);
+  EXPECT_EQ(fast.stats.completed, slow.stats.completed);
+  // Cold tunes are per-fingerprint, not per-degraded-job, and independent
+  // of pacing.
+  EXPECT_EQ(fast.stats.degraded, static_cast<std::size_t>(degraded));
 }
 
 }  // namespace

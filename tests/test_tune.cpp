@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "core/acspgemm.hpp"
@@ -239,6 +241,92 @@ TEST(Tune, FeaturesAreStructuralAndSamplingIsDeterministic) {
     if (len >= f1.b_rows.p90) mass += static_cast<double>(len);
   EXPECT_DOUBLE_EQ(f1.products_in_rows_at_least(f1.b_rows.p90),
                    mass * static_cast<double>(f1.stride));
+}
+
+/// The cold path's central promise: an unlimited predictor-only budget
+/// picks exactly the plan the full ranking would. Both sort by `serial_s`
+/// (the default kThroughput objective), and skipping the simulated
+/// makespan leaves `serial_s` bit-identical — only `total_s` collapses.
+TEST(Tune, BudgetedUnlimitedMatchesFullRanking) {
+  const auto [a, b] = frontier_job();
+  const auto f = extract_features(a, b);
+  const Config base;
+  const AutoTuner tuner;
+
+  const auto full = tuner.rank(f, base, sizeof(float));
+  const auto cold = tuner.rank_budgeted(f, base, sizeof(float), 0);
+  ASSERT_EQ(cold.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(cold[i].params, full[i].params) << "rank " << i;
+    // Predictor-only pricing reproduces the work estimate exactly and
+    // never ran the block scheduler.
+    EXPECT_EQ(cold[i].cost.serial_s, full[i].cost.serial_s) << "rank " << i;
+    EXPECT_EQ(cold[i].cost.total_s, 0.0) << "rank " << i;
+  }
+  EXPECT_EQ(tuner.choose_budgeted(f, base, sizeof(float), 0),
+            tuner.choose(f, base, sizeof(float)));
+  // And with a measured product count (the feedback path's override).
+  const double measured = f.est_products * 1.5;
+  EXPECT_EQ(tuner.choose_budgeted(f, base, sizeof(float), 0, measured),
+            tuner.choose(f, base, sizeof(float), measured));
+}
+
+/// Starved budgets still return a usable plan: every ranked candidate is
+/// device-feasible, the list never exceeds the budget, and even budget 1
+/// yields a valid choice.
+TEST(Tune, TightBudgetsStillYieldFeasiblePlans) {
+  const auto [a, b] = frontier_job();
+  const auto f = extract_features(a, b);
+  const Config base;
+  const AutoTuner tuner;
+
+  for (const std::size_t budget : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{5}, std::size_t{7}}) {
+    // sizeof(double) shrinks the feasible set (wide blocks overflow the
+    // scratchpad), so cover both value widths: infeasible tuples must be
+    // pruned before they consume budget.
+    for (const std::size_t width : {sizeof(float), sizeof(double)}) {
+      const auto ranked = tuner.rank_budgeted(f, base, width, budget);
+      ASSERT_FALSE(ranked.empty()) << "budget " << budget;
+      EXPECT_LE(ranked.size(), budget) << "budget " << budget;
+      for (const auto& c : ranked) {
+        Config applied = base;
+        c.params.apply(applied);
+        EXPECT_TRUE(acs::tune::fits_device(applied, width))
+            << "budget " << budget << " width " << width;
+      }
+      const auto choice = tuner.choose_budgeted(f, base, width, budget);
+      ASSERT_TRUE(choice.valid) << "budget " << budget;
+      // A budgeted choice must execute, and regrouping-safe inputs make it
+      // bit-comparable to the untuned baseline.
+      Config applied = base;
+      choice.apply(applied);
+      if (width == sizeof(float)) {
+        const auto ref = acs::multiply(a, b, base);
+        EXPECT_TRUE(ref.equals_exact(acs::multiply(a, b, applied)))
+            << "budget " << budget;
+      }
+    }
+  }
+}
+
+/// The budget counts *feasible* candidates in deterministic enumeration
+/// order, so growing the budget only ever extends the ranked prefix's
+/// candidate set — the budget-1 winner is the cheapest of a subset of what
+/// budget-N priced.
+TEST(Tune, GrowingBudgetNeverWorsensTheModeledPlan) {
+  const auto [a, b] = frontier_job();
+  const auto f = extract_features(a, b);
+  const Config base;
+  const AutoTuner tuner;
+
+  double prev_best = std::numeric_limits<double>::infinity();
+  for (std::size_t budget = 1; budget <= 12; ++budget) {
+    const auto ranked = tuner.rank_budgeted(f, base, sizeof(float), budget);
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_LE(ranked[0].cost.serial_s, prev_best) << "budget " << budget;
+    prev_best = ranked[0].cost.serial_s;
+  }
 }
 
 }  // namespace

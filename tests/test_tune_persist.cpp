@@ -1,0 +1,300 @@
+/// \file test_tune_persist.cpp
+/// The persistent tune cache's contracts (ISSUE: cold-path battery):
+///  * a save/load round trip reproduces every record field-exactly;
+///  * *any* corruption — zero-byte file, every possible truncation, a bit
+///    flip at every byte of the file, wrong magic/version, an options-hash
+///    mismatch — loads as a clean cold miss: a status code and an empty
+///    entry list, never a crash and never a partially-parsed TunedParams;
+///  * an engine constructed over the persisted file of a finished engine
+///    replays the refined decisions — zero cold tunes, identical overlays,
+///    bit-identical outputs.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/acspgemm.hpp"
+#include "matrix/generators.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/tune_persist.hpp"
+#include "tune/tuner.hpp"
+
+namespace acs::runtime {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string p = ::testing::TempDir() + "acs_" + name;
+  std::remove(p.c_str());
+  return p;
+}
+
+std::vector<unsigned char> read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::vector<unsigned char>((std::istreambuf_iterator<char>(is)),
+                                    std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<unsigned char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Three records exercising sentinels (-1 / 0) and large values.
+std::vector<TuneCacheEntry> sample_entries() {
+  std::vector<TuneCacheEntry> es(3);
+  es[0].key = {0x1234567890abcdefull, 100, 200, 4000, 200, 300, 5000};
+  es[0].tuned = {512, 4, 96, 8, true};
+  es[0].measured_products = 123456789;
+  es[1].key = {0xffffffffffffffffull, 1, 1, 1, 1, 1, 1};
+  es[1].tuned = {0, -1, -1, 0, true};  // all-sentinel overlay (keep base)
+  es[1].measured_products = 0;
+  es[2].key = {42, 30000, 30000, 123456789012ll, 30000, 30000, 99};
+  es[2].tuned = {1024, 0, 0, 16, true};  // threshold 0 = "auto"
+  es[2].measured_products = -1;  // pathological but must round-trip
+  return es;
+}
+
+constexpr std::uint64_t kHash = 0xfeedface12345678ull;
+
+TEST(TunePersist, RoundTripsEntriesExactly) {
+  const std::string path = temp_path("roundtrip.bin");
+  const auto in = sample_entries();
+  ASSERT_TRUE(save_tune_cache(path, kHash, in));
+
+  std::vector<TuneCacheEntry> out;
+  ASSERT_EQ(load_tune_cache(path, kHash, out), TuneCacheLoad::kLoaded);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].key, in[i].key) << "record " << i;
+    EXPECT_EQ(out[i].tuned, in[i].tuned) << "record " << i;
+    EXPECT_EQ(out[i].measured_products, in[i].measured_products)
+        << "record " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TunePersist, EmptyEntryListRoundTrips) {
+  const std::string path = temp_path("empty.bin");
+  ASSERT_TRUE(save_tune_cache(path, kHash, {}));
+  std::vector<TuneCacheEntry> out{TuneCacheEntry{}};  // must be cleared
+  EXPECT_EQ(load_tune_cache(path, kHash, out), TuneCacheLoad::kLoaded);
+  EXPECT_TRUE(out.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TunePersist, MissingFileIsCleanMiss) {
+  std::vector<TuneCacheEntry> out{TuneCacheEntry{}};
+  EXPECT_EQ(load_tune_cache(temp_path("never_written.bin"), kHash, out),
+            TuneCacheLoad::kMissing);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TunePersist, OptionsMismatchInvalidatesWholeFile) {
+  const std::string path = temp_path("options.bin");
+  ASSERT_TRUE(save_tune_cache(path, kHash, sample_entries()));
+  std::vector<TuneCacheEntry> out;
+  EXPECT_EQ(load_tune_cache(path, kHash + 1, out),
+            TuneCacheLoad::kOptionsMismatch);
+  EXPECT_TRUE(out.empty());
+  std::remove(path.c_str());
+}
+
+/// Table-driven corruption battery over targeted mutations. Every case must
+/// come back as the expected non-kLoaded status with an empty entry list.
+TEST(TunePersist, TargetedCorruptionsLoadAsCleanColdMiss) {
+  const std::string path = temp_path("battery.bin");
+  ASSERT_TRUE(save_tune_cache(path, kHash, sample_entries()));
+  const std::vector<unsigned char> good = read_bytes(path);
+  ASSERT_GT(good.size(), 20u);
+
+  struct Case {
+    const char* name;
+    void (*mutate)(std::vector<unsigned char>&);
+    TuneCacheLoad expected;
+  };
+  const Case cases[] = {
+      {"zero-byte file", [](std::vector<unsigned char>& f) { f.clear(); },
+       TuneCacheLoad::kTruncated},
+      {"shorter than the header",
+       [](std::vector<unsigned char>& f) { f.resize(7); },
+       TuneCacheLoad::kTruncated},
+      {"header only, payload gone",
+       [](std::vector<unsigned char>& f) { f.resize(20); },
+       TuneCacheLoad::kTruncated},
+      {"bad magic", [](std::vector<unsigned char>& f) { f[0] ^= 0x01; },
+       TuneCacheLoad::kBadMagic},
+      {"future format version",
+       [](std::vector<unsigned char>& f) { f[8] ^= 0x80; },
+       TuneCacheLoad::kBadVersion},
+      {"digest field flipped",
+       [](std::vector<unsigned char>& f) { f[12] ^= 0x40; },
+       TuneCacheLoad::kBadDigest},
+      {"options-hash byte flipped",
+       [](std::vector<unsigned char>& f) { f[20] ^= 0x04; },
+       TuneCacheLoad::kBadDigest},  // digest covers it, so it fails first
+      {"record-count byte flipped",
+       [](std::vector<unsigned char>& f) { f[28] ^= 0x01; },
+       TuneCacheLoad::kBadDigest},
+      {"payload bit flipped mid-record",
+       [](std::vector<unsigned char>& f) { f[100] ^= 0x10; },
+       TuneCacheLoad::kBadDigest},
+      {"last byte flipped",
+       [](std::vector<unsigned char>& f) { f.back() ^= 0x01; },
+       TuneCacheLoad::kBadDigest},
+      {"one record sawed off",
+       [](std::vector<unsigned char>& f) { f.resize(f.size() - 80); },
+       TuneCacheLoad::kBadDigest},  // digest was over the full payload
+  };
+  for (const Case& c : cases) {
+    std::vector<unsigned char> bytes = good;
+    c.mutate(bytes);
+    write_bytes(path, bytes);
+    std::vector<TuneCacheEntry> out{TuneCacheEntry{}};
+    EXPECT_EQ(load_tune_cache(path, kHash, out), c.expected) << c.name;
+    EXPECT_TRUE(out.empty()) << c.name;
+  }
+  std::remove(path.c_str());
+}
+
+/// Exhaustive single-bit-flip and truncation sweeps: no mutation of a valid
+/// file may ever load, crash, or surface an entry.
+TEST(TunePersist, EveryBitFlipAndTruncationIsRejected) {
+  const std::string path = temp_path("sweep.bin");
+  ASSERT_TRUE(save_tune_cache(path, kHash, sample_entries()));
+  const std::vector<unsigned char> good = read_bytes(path);
+
+  for (std::size_t byte = 0; byte < good.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<unsigned char> bytes = good;
+      bytes[byte] ^= static_cast<unsigned char>(1u << bit);
+      write_bytes(path, bytes);
+      std::vector<TuneCacheEntry> out;
+      EXPECT_NE(load_tune_cache(path, kHash, out), TuneCacheLoad::kLoaded)
+          << "bit " << bit << " of byte " << byte;
+      EXPECT_TRUE(out.empty()) << "bit " << bit << " of byte " << byte;
+    }
+  }
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    std::vector<unsigned char> bytes(good.begin(),
+                                     good.begin() + static_cast<long>(len));
+    write_bytes(path, bytes);
+    std::vector<TuneCacheEntry> out;
+    EXPECT_NE(load_tune_cache(path, kHash, out), TuneCacheLoad::kLoaded)
+        << "truncated to " << len;
+    EXPECT_TRUE(out.empty()) << "truncated to " << len;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TunePersist, FailedSaveLeavesPreviousFileIntact) {
+  const std::string path = temp_path("keep_old.bin");
+  ASSERT_TRUE(save_tune_cache(path, kHash, sample_entries()));
+  // A save that cannot even open its temporary sibling must fail without
+  // touching the existing file.
+  EXPECT_FALSE(save_tune_cache("/nonexistent-dir/acs_tune.bin", kHash, {}));
+  std::vector<TuneCacheEntry> out;
+  EXPECT_EQ(load_tune_cache(path, kHash, out), TuneCacheLoad::kLoaded);
+  EXPECT_EQ(out.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(TunePersist, OptionsHashSeparatesTunerConfigurations) {
+  tune::TunerOptions base;
+  std::vector<std::uint64_t> hashes;
+  hashes.push_back(tune::options_hash(base));
+  {
+    auto o = base;
+    o.objective = tune::TuneObjective::kLatency;
+    hashes.push_back(tune::options_hash(o));
+  }
+  {
+    auto o = base;
+    o.nnz_per_block.push_back(2048);
+    hashes.push_back(tune::options_hash(o));
+  }
+  {
+    auto o = base;
+    o.tune_long_row_threshold = false;
+    hashes.push_back(tune::options_hash(o));
+  }
+  {
+    auto o = base;
+    o.sample_stride = 16;
+    hashes.push_back(tune::options_hash(o));
+  }
+  {
+    auto o = base;
+    o.min_samples = 64;
+    hashes.push_back(tune::options_hash(o));
+  }
+  for (std::size_t i = 0; i < hashes.size(); ++i)
+    for (std::size_t j = i + 1; j < hashes.size(); ++j)
+      EXPECT_NE(hashes[i], hashes[j]) << i << " vs " << j;
+  // And it is a pure function: same options, same hash.
+  EXPECT_EQ(tune::options_hash(base), tune::options_hash(tune::TunerOptions{}));
+}
+
+/// The warm-restart contract end to end: engine #2, constructed over the
+/// file engine #1 persisted, replays the refined tuning decisions without a
+/// single cold tune and produces bit-identical results.
+TEST(TunePersist, EngineWarmStartSkipsColdTunesAndIsBitIdentical) {
+  const std::string path = temp_path("engine_cache.bin");
+  std::vector<std::pair<Csr<double>, Csr<double>>> pairs;
+  const auto g = gen_powerlaw<double>(300, 300, 8.0, 1.5, 120, 11);
+  const auto u = gen_uniform_random<double>(250, 250, 6.0, 1.0, 12);
+  pairs.emplace_back(g, g);
+  pairs.emplace_back(u, u);
+  pairs.emplace_back(g, g);  // repeat fingerprint: one decision, two jobs
+
+  EngineConfig ec;
+  ec.workers = 1;  // serial: the repeat pair must hit the stored plan
+  ec.tuning = tune::TuningMode::kFeedback;
+  ec.tune_cache_path = path;
+
+  std::vector<runtime::JobResult<double>> warm1;
+  std::vector<TunedParams> tuned1;
+  {
+    Engine<double> e1(ec);
+    EXPECT_EQ(e1.stats().cache_loads, 0u);  // nothing persisted yet
+    (void)e1.multiply_batch(pairs);  // cold tunes + feedback refinement
+    warm1 = e1.multiply_batch(pairs);
+    for (const auto& r : warm1) {
+      ASSERT_FALSE(r.failed());
+      tuned1.push_back(r.tuned);
+    }
+    EXPECT_EQ(e1.stats().cold_tunes, 2u);  // two distinct fingerprints
+  }  // destructor flushes the tune cache
+
+  Engine<double> e2(ec);
+  EXPECT_EQ(e2.stats().cache_loads, 2u);
+  const auto warm2 = e2.multiply_batch(pairs);
+  ASSERT_EQ(warm2.size(), warm1.size());
+  for (std::size_t i = 0; i < warm2.size(); ++i) {
+    ASSERT_FALSE(warm2[i].failed());
+    EXPECT_TRUE(warm2[i].plan_hit) << "job " << i;  // seeded plans hit
+    EXPECT_EQ(warm2[i].tuned, tuned1[i]) << "job " << i;
+    EXPECT_TRUE(warm2[i].c.equals_exact(warm1[i].c)) << "job " << i;
+  }
+  EXPECT_EQ(e2.stats().cold_tunes, 0u);
+  EXPECT_EQ(e2.metrics().counters.cold_tunes, 0u);
+  EXPECT_EQ(e2.metrics().counters.cache_loads, 2u);
+
+  // A tuner-configuration change invalidates the persisted decisions: the
+  // next engine cold-tunes from scratch instead of replaying stale plans.
+  EngineConfig changed = ec;
+  changed.tuner.objective = tune::TuneObjective::kLatency;
+  Engine<double> e3(changed);
+  EXPECT_EQ(e3.stats().cache_loads, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace acs::runtime
