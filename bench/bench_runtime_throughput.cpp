@@ -21,11 +21,16 @@
 /// (src/trace metrics snapshots).
 ///
 /// Run:  ./bench_runtime_throughput [jobs_per_batch] [engine_workers]
-///                                  [--trace-json out.json]
+///                                  [--trace-json out.json] [--smoke]
 ///   --trace-json re-runs a few repeated-pattern jobs on an engine with
 ///   collect_job_traces on and writes the first job's span tree as Chrome
 ///   trace_event JSON. The throughput gate below always measures the
 ///   untraced engine — tracing must stay off the benchmarked path.
+///   --smoke runs only the estimator gates (CI tier-1): mixed-pattern naive
+///   cold runs with sampled pool sizing (Config::pool_sizing = kSampled)
+///   must cut restarts from the closed-form guess's ~80 to ≤8 with
+///   bit-identical outputs, and the estimated pool must sit within [1x, 4x]
+///   of the observed high-water mark for ≥90% of the suite's jobs.
 
 #include <algorithm>
 #include <cstdlib>
@@ -36,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/acspgemm.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/generators.hpp"
 #include "suite/bench_runner.hpp"
@@ -161,17 +167,82 @@ void emit_workload(std::ostream& os, const std::string& name,
      << "  }" << (last ? "\n" : ",\n");
 }
 
+/// The estimator acceptance gates, cheap enough for every CI run: naive
+/// cold multiplications only, no engine. Returns the process exit code.
+int run_smoke(std::size_t jobs) {
+  const acs::Config closed = bench_config();
+  acs::Config sampled = closed;
+  sampled.pool_sizing = acs::PoolSizing::kSampled;
+
+  // Gate 1 — restart reduction on the mixed-pattern workload: identical
+  // under-provisioned lower bound, only the cold sizing differs. The
+  // restart protocol is bit-stable, so the outputs must not move at all.
+  std::size_t closed_restarts = 0, sampled_restarts = 0;
+  bool identical = true;
+  std::vector<double> ratios;  // estimate / observed high-water, per job
+  const auto run_pairs = [&](const std::vector<Pair>& pairs) {
+    for (const auto& [a, b] : pairs) {
+      acs::SpgemmStats sc, ss;
+      const auto c1 = acs::multiply(a, b, closed, &sc);
+      const auto c2 = acs::multiply(a, b, sampled, &ss);
+      closed_restarts += static_cast<std::size_t>(std::max(0, sc.restarts));
+      sampled_restarts += static_cast<std::size_t>(std::max(0, ss.restarts));
+      identical = identical && c1.equals_exact(c2);
+      if (ss.pool_used_bytes > 0)
+        ratios.push_back(static_cast<double>(ss.pool_estimate_bytes) /
+                         static_cast<double>(ss.pool_used_bytes));
+    }
+  };
+  run_pairs(mixed_pattern_batch(jobs));
+  const std::size_t mixed_closed = closed_restarts;
+  const std::size_t mixed_sampled = sampled_restarts;
+  // Gate 2 — estimate accuracy across the bench suite (both workloads):
+  // the estimator-sized pool within [1x, 4x] of the observed high-water
+  // mark for at least 90% of jobs.
+  run_pairs(repeated_pattern_batch(std::min<std::size_t>(jobs, 8)));
+  std::size_t in_range = 0;
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    if (ratios[i] >= 1.0 && ratios[i] <= 4.0)
+      ++in_range;
+    else
+      std::cerr << "  job " << i << " estimate/high-water ratio " << ratios[i]
+                << " outside [1, 4]\n";
+  }
+  const double frac =
+      ratios.empty() ? 0.0
+                     : static_cast<double>(in_range) /
+                           static_cast<double>(ratios.size());
+
+  const bool restarts_ok = mixed_sampled <= 8;
+  const bool ratio_ok = frac >= 0.9;
+  std::cerr << "mixed-pattern cold restarts: closed-form=" << mixed_closed
+            << " sampled=" << mixed_sampled
+            << (restarts_ok ? "  [ok]" : "  [ABOVE TARGET]") << "\n"
+            << "outputs bit-identical: " << (identical ? "yes" : "NO")
+            << "\nestimate/high-water within [1x,4x]: " << in_range << "/"
+            << ratios.size() << (ratio_ok ? "  [ok]" : "  [BELOW TARGET]")
+            << "\n";
+  return restarts_ok && ratio_ok && identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  bool smoke = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace-json" && i + 1 < argc)
       trace_path = argv[++i];
+    else if (std::string(argv[i]) == "--smoke")
+      smoke = true;
     else
       positional.push_back(argv[i]);
   }
+  if (smoke)
+    return run_smoke(positional.empty()
+                         ? 16
+                         : static_cast<std::size_t>(std::atoll(positional[0])));
   const std::size_t jobs =
       positional.size() > 0 ? static_cast<std::size_t>(std::atoll(positional[0])) : 32;
   const unsigned workers =

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/chunk.hpp"
 #include "matrix/stats.hpp"
 #include "sim/block_primitives.hpp"
 #include "sim/cost_model.hpp"
@@ -44,7 +45,9 @@ Csr<T> esc_global_multiply(const Csr<T>& a, const Csr<T>& b,
           (sizeof(index_t) + sizeof(T));
     }
   }
-  const std::size_t temp_bytes = sizeof(index_t) * 2 + sizeof(T);
+  // The shared per-entry pool cost (core/chunk.hpp): a (row, col, value)
+  // temp record, identical to what the pool estimators charge.
+  const std::size_t temp_bytes = kChunkEntryBytes<T>;
   expand.global_bytes_coalesced +=
       static_cast<std::uint64_t>(products) * temp_bytes;  // write temps
   expand.flops += 2 * static_cast<std::uint64_t>(products);

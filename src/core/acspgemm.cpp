@@ -9,6 +9,7 @@
 #include "core/esc_block.hpp"
 #include "core/invariants.hpp"  // compile-time proofs ride every build
 #include "core/merge.hpp"
+#include "estimate/estimator.hpp"
 #include "matrix/stats.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/scheduler.hpp"
@@ -463,9 +464,11 @@ class Pipeline {
   void finalize_stats() {
     stats_.pool_bytes = pool_.capacity();
     stats_.pool_used_bytes = pool_.used();
+    stats_.pool_estimate_bytes = initial_pool_;
     stats_.chunks_created = chunks_.size();
     ACS_TRACE_GAUGE_MAX(trace_, pool_capacity_bytes, pool_.capacity());
     ACS_TRACE_GAUGE_MAX(trace_, pool_used_bytes, pool_.used());
+    ACS_TRACE_GAUGE_MAX(trace_, pool_estimate_bytes, initial_pool_);
     // Refresh the plan: the load-balancing table (unless it came from the
     // plan already) and the final pool capacity. The capacity includes any
     // restart growth, so replaying the plan on the same pattern needs no
@@ -510,6 +513,21 @@ template <class T>
 std::size_t estimate_chunk_pool_bytes(const Csr<T>& a, const Csr<T>& b,
                                       const Config& cfg) {
   if (cfg.pool_override_bytes > 0) return cfg.pool_override_bytes;
+  if (cfg.pool_sizing == PoolSizing::kSampled) {
+    estimate::PoolSizingParams p;
+    p.quantile = cfg.pool_estimate_quantile;
+    p.sample_stride = cfg.pool_sample_stride;
+    p.min_samples = cfg.pool_min_samples;
+    p.chunk_entry_capacity = static_cast<std::size_t>(
+        std::max(1, cfg.temp_capacity() - cfg.retain_capacity()));
+    p.entry_bytes = kChunkEntryBytes<T>;
+    p.chunk_header_bytes = kChunkHeaderBytes;
+    p.pointer_chunk_bytes = kPointerChunkBytes;
+    p.long_row_threshold =
+        cfg.long_row_handling ? cfg.effective_long_row_threshold() : 0;
+    p.lower_bound_bytes = cfg.pool_lower_bound_bytes;
+    return estimate::plan_pool_bytes(a, b, p).recommended_bytes;
+  }
   const double rows_a = std::max<double>(1.0, static_cast<double>(a.rows));
   const double rows_b = std::max<double>(1.0, static_cast<double>(b.rows));
   const double cols_b = std::max<double>(1.0, static_cast<double>(b.cols));
@@ -522,10 +540,13 @@ std::size_t estimate_chunk_pool_bytes(const Csr<T>& a, const Csr<T>& b,
       p_b < 1e-12 ? avg_a
                   : (1.0 - std::pow(1.0 - p_b, avg_a)) / p_b;
   const double elements = rows_a * avg_b * collision_scale;
-  const double bytes = elements * (sizeof(index_t) + sizeof(T)) *
-                       cfg.pool_estimate_factor;
-  return std::max(cfg.pool_lower_bound_bytes,
-                  static_cast<std::size_t>(bytes));
+  const double bytes =
+      elements * static_cast<double>(kChunkEntryBytes<T>) *
+      cfg.pool_estimate_factor;
+  // Saturating conversion: a hub-heavy input times the estimate factor can
+  // push `bytes` past the size_t range, and a bare cast would wrap into a
+  // tiny pool and a restart storm.
+  return std::max(cfg.pool_lower_bound_bytes, estimate::saturate_bytes(bytes));
 }
 
 template <class T>

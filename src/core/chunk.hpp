@@ -25,6 +25,20 @@ namespace acs {
 inline constexpr std::size_t kChunkHeaderBytes = 32;
 inline constexpr std::size_t kPointerChunkBytes = 48;
 
+/// Bytes one temporary product costs in every global-memory layout that
+/// stores it with its row: two indices (row boundary / row key + column id)
+/// plus the value. This is exactly the ESC-global baseline's (row, col,
+/// value) temp record, and it dominates the chunk layout's per-entry cost —
+/// a chunk charges (index_t + T) payload per entry plus one index_t row
+/// boundary per covered row, and a chunk never covers more rows than it has
+/// entries. The pool estimators (core/acspgemm.cpp, src/estimate) and
+/// baselines/esc_global.cpp all charge this one constant so their byte
+/// accounting can never drift apart; core/invariants.hpp proves the layout
+/// relations at compile time.
+template <class T>
+inline constexpr std::size_t kChunkEntryBytes =
+    2 * sizeof(index_t) + sizeof(T);
+
 /// Deterministic global chunk order: block id + per-block running chunk
 /// number, the paper's replacement for the scheduler-dependent linked-list
 /// insertion order ("which yields a global ordering of chunks").

@@ -18,6 +18,19 @@ namespace acs {
 
 class AllocationPolicy;  // core/chunk.hpp
 
+/// Initial chunk-pool sizing strategy (see `estimate_chunk_pool_bytes`).
+enum class PoolSizing {
+  /// The paper's closed-form uniform-collision guess
+  /// S ≈ nA·b·(1-(1-p_b)^a)/p_b, scaled by `pool_estimate_factor`.
+  kClosedForm = 0,
+  /// Sampled per-row estimator (src/estimate): a strided B-row-length
+  /// sample sized in bytes of actual chunk layout, with a quantile-based
+  /// safety margin. Ignores `pool_estimate_factor`; still respects
+  /// `pool_override_bytes` and `pool_lower_bound_bytes`. Pure function of
+  /// the operands' structure, so serve decision streams stay replayable.
+  kSampled,
+};
+
 struct Config {
   /// Threads per simulated block.
   int threads = 256;
@@ -41,8 +54,21 @@ struct Config {
   /// Path Merge handles rows with up to this many chunks; beyond that,
   /// Search Merge takes over (Section 3.3).
   int path_merge_max_chunks = 8;
+  /// How the initial chunk pool is sized when no plan is available:
+  /// closed-form guess (default, the paper's setup) or the sampled
+  /// estimator of src/estimate.
+  PoolSizing pool_sizing = PoolSizing::kClosedForm;
   /// Chunk-pool estimate multiplier (paper: 1.2 for metadata/divergence).
+  /// Closed-form sizing only; the sampled estimator's margin is
+  /// `pool_estimate_quantile`.
   double pool_estimate_factor = 1.2;
+  /// Sampled sizing: quantile of the sampled B-row-length distribution
+  /// charged per unsampled entry of A (the estimator's safety margin).
+  double pool_estimate_quantile = 0.9;
+  /// Sampled sizing: inspect every N-th non-zero of A (clamped so at least
+  /// `pool_min_samples` entries are inspected when A has that many).
+  std::size_t pool_sample_stride = 8;
+  std::size_t pool_min_samples = 512;
   /// Lower bound on the initial chunk pool (paper: 100 MB).
   std::size_t pool_lower_bound_bytes = std::size_t{100} << 20;
   /// Exact pool size override; 0 = use the estimate. Used by the restart

@@ -189,6 +189,30 @@ constexpr bool chunk_accounting_holds() {
 static_assert(chunk_accounting_holds<float>());
 static_assert(chunk_accounting_holds<double>());
 
+// The shared per-entry pool cost (chunk.hpp kChunkEntryBytes): exactly the
+// ESC-global baseline's (row, col, value) temp record...
+static_assert(kChunkEntryBytes<float> == 2 * sizeof(index_t) + sizeof(float));
+static_assert(kChunkEntryBytes<double> ==
+              2 * sizeof(index_t) + sizeof(double));
+// ...and an upper bound on the chunk layout's variable cost: charging every
+// entry kChunkEntryBytes covers the (index_t + T) payload plus the per-row
+// boundary, because a chunk never covers more rows than it has entries.
+template <class T>
+constexpr bool entry_cost_covers_chunk_payload() {
+  Chunk<T> c;
+  c.rows = {4, 5};
+  c.row_offsets = {0, 2, 3};
+  c.cols = {7, 9, 7};
+  c.vals = {T(1), T(2), T(3)};
+  return c.byte_size() <= kChunkHeaderBytes + 3 * kChunkEntryBytes<T>;
+}
+static_assert(entry_cost_covers_chunk_payload<float>());
+static_assert(entry_cost_covers_chunk_payload<double>());
+// The pointer-chunk record is cheaper than materializing even one entry's
+// worth of header+payload — diverting a long row can only shrink the pool.
+static_assert(kPointerChunkBytes <=
+              kChunkHeaderBytes + kChunkEntryBytes<double>);
+
 // The deterministic chunk order must stay a plain 8-byte value type — the
 // engine copies it around freely and sorts on it.
 static_assert(std::is_trivially_copyable_v<ChunkOrder>);

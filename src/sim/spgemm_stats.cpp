@@ -19,6 +19,7 @@ trace::MetricsSnapshot to_metrics_snapshot(const SpgemmStats& s) {
   m.merged_rows = s.merged_rows;
   m.pool_bytes = s.pool_bytes;
   m.pool_used_bytes = s.pool_used_bytes;
+  m.pool_estimate_bytes = s.pool_estimate_bytes;
   return m;
 }
 

@@ -38,6 +38,10 @@ struct SpgemmStats {
   std::size_t pool_bytes = 0;
   /// Actually used pool bytes (Table 3 "used").
   std::size_t pool_used_bytes = 0;
+  /// Initial pool sizing this run started from — the reused plan's learned
+  /// size or the cold estimator's output (`estimate_chunk_pool_bytes`).
+  /// Compare against pool_used_bytes to observe estimate error per job.
+  std::size_t pool_estimate_bytes = 0;
   /// Intermediate products of the multiplication (2 FLOPs each).
   offset_t intermediate_products = 0;
   /// Simulated time per pipeline stage, in execution order (Fig. 7).

@@ -114,6 +114,7 @@ void append_counters_json(std::ostringstream& os, const CountersSnapshot& c) {
      << ", \"pool_denials\": " << c.pool_denials
      << ", \"pool_capacity_bytes\": " << c.pool_capacity_bytes
      << ", \"pool_used_bytes\": " << c.pool_used_bytes
+     << ", \"pool_estimate_bytes\": " << c.pool_estimate_bytes
      << ", \"restarts\": " << c.restarts
      << ", \"esc_blocks\": " << c.esc_blocks
      << ", \"esc_iterations\": " << c.esc_iterations
@@ -259,6 +260,7 @@ std::string to_table(const TraceSession& session) {
      << " merge_windows=" << c.merge_windows
      << "\n          pool alloc/used/capacity=" << c.pool_alloc_bytes << "/"
      << c.pool_used_bytes << "/" << c.pool_capacity_bytes
+     << " estimate=" << c.pool_estimate_bytes
      << " denials=" << c.pool_denials
      << "\n          blocks_executed=" << c.blocks_executed;
   if (c.blocks_executed > 0) {
@@ -363,6 +365,7 @@ MetricsSnapshot session_metrics(const TraceSession& session) {
                   m.counters.merge_case_rows[2];
   m.pool_bytes = m.counters.pool_capacity_bytes;
   m.pool_used_bytes = m.counters.pool_used_bytes;
+  m.pool_estimate_bytes = m.counters.pool_estimate_bytes;
   return m;
 }
 

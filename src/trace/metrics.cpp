@@ -24,6 +24,7 @@ MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& o) {
   merged_rows += o.merged_rows;
   pool_bytes = std::max(pool_bytes, o.pool_bytes);
   pool_used_bytes = std::max(pool_used_bytes, o.pool_used_bytes);
+  pool_estimate_bytes = std::max(pool_estimate_bytes, o.pool_estimate_bytes);
   counters += o.counters;
   for (const TenantServeCounters& row : o.serve_tenants) {
     auto it = std::find_if(

@@ -58,6 +58,9 @@ struct MetricsSnapshot {
   std::uint64_t merged_rows = 0;
   std::uint64_t pool_bytes = 0;       ///< high-water chunk-pool capacity
   std::uint64_t pool_used_bytes = 0;  ///< high-water chunk-pool usage
+  /// High-water initial pool sizing (plan or estimator output) — against
+  /// pool_used_bytes this is the estimate error the trace exporters show.
+  std::uint64_t pool_estimate_bytes = 0;
   /// Trace counters aggregated over jobs; all-zero when tracing was off.
   /// The `serve_*` block is filled by `serve::Server::metrics()`.
   CountersSnapshot counters;

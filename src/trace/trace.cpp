@@ -9,6 +9,7 @@ CountersSnapshot& CountersSnapshot::operator+=(const CountersSnapshot& o) {
   pool_denials += o.pool_denials;
   pool_capacity_bytes = std::max(pool_capacity_bytes, o.pool_capacity_bytes);
   pool_used_bytes = std::max(pool_used_bytes, o.pool_used_bytes);
+  pool_estimate_bytes = std::max(pool_estimate_bytes, o.pool_estimate_bytes);
   restarts += o.restarts;
   esc_blocks += o.esc_blocks;
   esc_iterations += o.esc_iterations;
@@ -46,6 +47,7 @@ CountersSnapshot Counters::snapshot() const {
   s.pool_denials = get(pool_denials);
   s.pool_capacity_bytes = get(pool_capacity_bytes);
   s.pool_used_bytes = get(pool_used_bytes);
+  s.pool_estimate_bytes = get(pool_estimate_bytes);
   s.restarts = get(restarts);
   s.esc_blocks = get(esc_blocks);
   s.esc_iterations = get(esc_iterations);

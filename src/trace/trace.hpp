@@ -53,6 +53,9 @@ struct CountersSnapshot {
   std::uint64_t pool_denials = 0;       ///< failed allocations (block-level)
   std::uint64_t pool_capacity_bytes = 0;  ///< high-water pool capacity
   std::uint64_t pool_used_bytes = 0;      ///< high-water pool usage
+  /// High-water *initial* pool sizing (plan or estimator output) — compare
+  /// against pool_used_bytes/pool_capacity_bytes to observe estimate error.
+  std::uint64_t pool_estimate_bytes = 0;
   std::uint64_t restarts = 0;             ///< host restart rounds
   // ESC.
   std::uint64_t esc_blocks = 0;       ///< ESC block executions (incl. relaunches)
@@ -85,14 +88,15 @@ struct CountersSnapshot {
 };
 
 /// Live counter set: relaxed atomics, safe to bump from any thread. Gauges
-/// (`*_capacity_bytes`, `*_used_bytes`, `block_time_ns_max`,
-/// `serve_queue_depth_peak`) keep the maximum observed value; everything
-/// else accumulates.
+/// (`*_capacity_bytes`, `*_used_bytes`, `pool_estimate_bytes`,
+/// `block_time_ns_max`, `serve_queue_depth_peak`) keep the maximum observed
+/// value; everything else accumulates.
 struct Counters {
   std::atomic<std::uint64_t> pool_alloc_bytes{0};
   std::atomic<std::uint64_t> pool_denials{0};
   std::atomic<std::uint64_t> pool_capacity_bytes{0};
   std::atomic<std::uint64_t> pool_used_bytes{0};
+  std::atomic<std::uint64_t> pool_estimate_bytes{0};
   std::atomic<std::uint64_t> restarts{0};
   std::atomic<std::uint64_t> esc_blocks{0};
   std::atomic<std::uint64_t> esc_iterations{0};

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "estimate/estimator.hpp"
+
 namespace acs::tune {
 
 double TuneFeatures::products_in_rows_at_least(index_t t) const {
@@ -56,33 +58,22 @@ TuneFeatures extract_features(const Csr<T>& a, const Csr<T>& b,
   f.a_rows = row_length_profile(a.row_ptr, a.rows);
   f.b_rows = row_length_profile(b.row_ptr, b.rows);
 
-  const auto nnz = static_cast<std::size_t>(f.nnz_a);
-  std::size_t stride = std::max<std::size_t>(1, sample_stride);
-  if (min_samples > 0 && nnz > 0)
-    stride = std::min(stride, std::max<std::size_t>(1, nnz / min_samples));
-  f.stride = stride;
-  f.products_exact = stride == 1;
-
-  // Strided sample of A's column ids against B's row lengths. The scaled
-  // sum is the expected-value estimate; the conservative variant charges
-  // each window the larger of its two bounding samples, so locally heavy
-  // stretches of B rows are not diluted by the stride.
-  f.sampled_b_lens.reserve(nnz / stride + 1);
-  double sum = 0.0, upper = 0.0;
-  index_t prev = 0;
-  for (std::size_t i = 0; i < nnz; i += stride) {
-    const index_t blen = b.row_length(a.col_idx[i]);
-    f.sampled_b_lens.push_back(blen);
-    sum += static_cast<double>(blen);
-    const std::size_t window = std::min(stride, nnz - i);
-    upper += static_cast<double>(std::max(prev, blen)) *
-             static_cast<double>(window);
-    prev = blen;
-  }
-  f.sampled = f.sampled_b_lens.size();
-  f.est_products = f.products_exact ? sum : sum * static_cast<double>(stride);
-  f.est_products_upper = f.products_exact ? sum : upper;
-  std::sort(f.sampled_b_lens.begin(), f.sampled_b_lens.end());
+  // Strided sample of A's column ids against B's row lengths — the shared
+  // sampling core of src/estimate, so the tuner and the memory planner can
+  // never disagree about the sample. Each sample is weighted by the entries
+  // of A its window actually covers (a partial final window is charged its
+  // true size); the conservative variant charges each window the larger of
+  // its two bounding samples, so locally heavy stretches of B rows are not
+  // diluted by the stride, and is ≥ the expected estimate by construction.
+  estimate::RowSample s =
+      estimate::sample_b_row_lengths(a, b, sample_stride, min_samples);
+  const estimate::ProductEstimate est = estimate::products_from_sample(s);
+  f.stride = s.stride;
+  f.products_exact = s.exact;
+  f.sampled = s.sampled;
+  f.est_products = est.expected;
+  f.est_products_upper = est.conservative;
+  f.sampled_b_lens = std::move(s.b_lens);  // already sorted ascending
   return f;
 }
 

@@ -7,11 +7,11 @@
 /// decision derived from it) applies to all jobs sharing a structure
 /// fingerprint (runtime/fingerprint.hpp), and extraction costs one pass
 /// over A's row pointer plus a strided sample of A's column ids against
-/// B's row lengths. Temporary products are *estimated* from that sample
-/// (scaled sum = expected value; a conservative variant charges each
-/// window the larger of its bounding samples); the feedback tuning mode
-/// later replaces the estimate with the exact measured count
-/// (`SpgemmStats::intermediate_products`).
+/// B's row lengths. Temporary products are *estimated* from that sample by
+/// the shared estimator of src/estimate (window-weighted expected value; a
+/// conservative variant charges each window the larger of its bounding
+/// samples); the feedback tuning mode later replaces the estimate with the
+/// exact measured count (`SpgemmStats::intermediate_products`).
 
 #include <cstddef>
 #include <vector>
@@ -38,10 +38,13 @@ struct TuneFeatures {
   RowLengthProfile b_rows;
 
   /// Estimated temporary products Σ_{(i,k) ∈ A} |B_k| from the strided
-  /// sample (sum of sampled B-row lengths × stride).
+  /// sample (each sampled B-row length weighted by the entries of A its
+  /// window covers, so a partial final window is charged its true size).
   double est_products = 0.0;
   /// Conservative variant: each sample window charged the larger of its
   /// two bounding samples (used for pool-safety margins, not ranking).
+  /// Always ≥ est_products, and clamped below the guaranteed upper bound
+  /// of src/estimate, where both estimates are computed.
   double est_products_upper = 0.0;
   /// True when every entry of A was inspected (stride 1 or nnz(A) small):
   /// `est_products` is then exact.

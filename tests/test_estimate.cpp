@@ -1,0 +1,253 @@
+/// \file test_estimate.cpp
+/// src/estimate: sampling-based size estimation. The property suite pins the
+/// guaranteed bracket (lower <= exact symbolic count <= upper) across the
+/// generator zoo and both value widths; the sample suite pins the exact
+/// window arithmetic against a brute-force reimplementation, including the
+/// partial-final-window and nnz < min_samples paths this PR fixed; the
+/// planner suite covers saturation boundaries and the restart-count
+/// regression the estimator exists for.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/acspgemm.hpp"
+#include "core/chunk.hpp"
+#include "estimate/estimator.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/stats.hpp"
+
+namespace acs {
+namespace {
+
+template <class T>
+std::vector<Csr<T>> generator_zoo() {
+  std::vector<Csr<T>> zoo;
+  zoo.push_back(gen_uniform_random<T>(300, 300, 6.0, 2.0, 21));
+  zoo.push_back(gen_powerlaw<T>(400, 400, 5.0, 1.6, 120, 22));
+  zoo.push_back(gen_block_dense<T>(192, 192, 8, 2, 23));
+  zoo.push_back(gen_stencil_2d<T>(20, 20, 24));
+  zoo.push_back(gen_uniform_random<T>(50, 50, 1.0, 0.5, 25));  // sparse tail
+  Csr<T> empty;
+  empty.rows = 10;
+  empty.cols = 10;
+  empty.row_ptr.assign(11, 0);
+  zoo.push_back(empty);  // empty edge
+  return zoo;
+}
+
+template <class T>
+void expect_bounds_bracket_exact() {
+  for (const auto& m : generator_zoo<T>()) {
+    const auto exact =
+        static_cast<double>(intermediate_products(m, m));
+    for (std::size_t stride : {std::size_t{1}, std::size_t{3},
+                               std::size_t{8}, std::size_t{64}}) {
+      const auto e = estimate::estimate_products(m, m, stride, 0);
+      EXPECT_LE(e.lower, exact) << "stride " << stride;
+      EXPECT_GE(e.upper, exact) << "stride " << stride;
+      EXPECT_LE(e.lower, e.expected) << "stride " << stride;
+      EXPECT_GE(e.upper, e.expected) << "stride " << stride;
+      EXPECT_GE(e.conservative, e.expected) << "stride " << stride;
+      EXPECT_LE(e.conservative, e.upper) << "stride " << stride;
+      if (stride == 1) {
+        EXPECT_TRUE(e.exact);
+        EXPECT_DOUBLE_EQ(e.expected, exact);
+        EXPECT_DOUBLE_EQ(e.conservative, exact);
+      }
+    }
+  }
+}
+
+TEST(EstimateProperty, BoundsBracketExactCountDouble) {
+  expect_bounds_bracket_exact<double>();
+}
+
+TEST(EstimateProperty, BoundsBracketExactCountFloat) {
+  expect_bounds_bracket_exact<float>();
+}
+
+// Brute-force reimplementation of the window-weighted aggregates: window k
+// covers [k*stride, min((k+1)*stride, nnz)). Every weight is derived
+// independently of the production loop.
+struct BruteAggregates {
+  double expected = 0.0;
+  double conservative = 0.0;
+  std::size_t weight_total = 0;
+};
+
+template <class T>
+BruteAggregates brute_force(const Csr<T>& a, const Csr<T>& b,
+                            std::size_t stride) {
+  BruteAggregates out;
+  const auto nnz = static_cast<std::size_t>(a.nnz());
+  std::vector<double> lens;
+  for (std::size_t i = 0; i < nnz; i += stride)
+    lens.push_back(static_cast<double>(b.row_length(a.col_idx[i])));
+  for (std::size_t k = 0; k < lens.size(); ++k) {
+    const std::size_t lo = k * stride;
+    const std::size_t hi = std::min(lo + stride, nnz);
+    const auto w = static_cast<double>(hi - lo);
+    out.weight_total += hi - lo;
+    out.expected += lens[k] * w;
+    const double next = k + 1 < lens.size() ? lens[k + 1] : lens[k];
+    out.conservative += std::max(lens[k], next) * w;
+  }
+  return out;
+}
+
+TEST(EstimateSample, WindowWeightsTileNnzExactly) {
+  // 999 % 8 != 0: the final window is partial. Before this PR the tail was
+  // extrapolated to a full stride (expected) or left uncharged
+  // (conservative); both must now match the brute force exactly.
+  const auto m = gen_powerlaw<double>(333, 333, 3.0, 1.5, 90, 31);
+  ASSERT_NE(static_cast<std::size_t>(m.nnz()) % 8, 0u);
+  for (std::size_t stride : {std::size_t{2}, std::size_t{5}, std::size_t{8},
+                             std::size_t{17}}) {
+    const auto s = estimate::sample_b_row_lengths(m, m, stride, 0);
+    const auto ref = brute_force(m, m, stride);
+    EXPECT_EQ(ref.weight_total, static_cast<std::size_t>(m.nnz()))
+        << "stride " << stride;
+    EXPECT_DOUBLE_EQ(s.expected, ref.expected) << "stride " << stride;
+    // The raw conservative sum matches the brute force; the published
+    // estimate additionally clamps into [expected, upper].
+    EXPECT_DOUBLE_EQ(s.conservative, ref.conservative) << "stride " << stride;
+    EXPECT_GE(s.conservative, s.expected) << "stride " << stride;
+  }
+}
+
+TEST(EstimateSample, MinSamplesForcesExactPassOnSmallInputs) {
+  const auto m = gen_uniform_random<double>(40, 40, 3.0, 1.0, 32);
+  ASSERT_LT(static_cast<std::size_t>(m.nnz()), 512u);
+  const auto s = estimate::sample_b_row_lengths(m, m, 8, 512);
+  EXPECT_EQ(s.stride, 1u);
+  EXPECT_TRUE(s.exact);
+  EXPECT_EQ(s.sampled, static_cast<std::size_t>(m.nnz()));
+  const auto e = estimate::products_from_sample(s);
+  EXPECT_DOUBLE_EQ(e.expected,
+                   static_cast<double>(intermediate_products(m, m)));
+  EXPECT_DOUBLE_EQ(e.lower, e.upper);
+}
+
+TEST(EstimateSample, EmptyMatrixIsExactZero) {
+  Csr<double> z;
+  z.rows = 16;
+  z.cols = 16;
+  z.row_ptr.assign(17, 0);
+  const auto s = estimate::sample_b_row_lengths(z, z, 8, 512);
+  EXPECT_TRUE(s.exact);
+  EXPECT_EQ(s.sampled, 0u);
+  const auto e = estimate::products_from_sample(s);
+  EXPECT_DOUBLE_EQ(e.expected, 0.0);
+  EXPECT_DOUBLE_EQ(e.upper, 0.0);
+}
+
+TEST(EstimateSample, QuantileReadsSortedSample) {
+  const auto m = gen_powerlaw<double>(500, 500, 4.0, 1.7, 150, 33);
+  const auto s = estimate::sample_b_row_lengths(m, m, 4, 0);
+  ASSERT_GT(s.sampled, 1u);
+  EXPECT_EQ(s.quantile(0.0), s.b_lens.front());
+  EXPECT_EQ(s.quantile(1.0), s.b_lens.back());
+  EXPECT_GE(s.quantile(0.9), s.quantile(0.5));
+  EXPECT_EQ(s.quantile(-3.0), s.b_lens.front());  // clamped
+  EXPECT_EQ(s.quantile(7.0), s.b_lens.back());
+}
+
+TEST(EstimateSaturate, BoundaryValues) {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  EXPECT_EQ(estimate::saturate_bytes(0.0), 0u);
+  EXPECT_EQ(estimate::saturate_bytes(-1.0), 0u);
+  EXPECT_EQ(estimate::saturate_bytes(std::nan("")), 0u);
+  EXPECT_EQ(estimate::saturate_bytes(4096.5), 4096u);
+  EXPECT_EQ(estimate::saturate_bytes(1e30), kMax);
+  EXPECT_EQ(estimate::saturate_bytes(std::numeric_limits<double>::infinity()),
+            kMax);
+  EXPECT_EQ(estimate::saturate_bytes(static_cast<double>(kMax) * 2.0), kMax);
+}
+
+TEST(EstimateLayout, ChunkLayoutChargesHeadersPerCapacity) {
+  estimate::PoolSizingParams p;
+  p.entry_bytes = 16;
+  p.chunk_header_bytes = 32;
+  p.chunk_entry_capacity = 100;
+  EXPECT_EQ(estimate::chunk_layout_bytes(0.0, p), 0u);
+  // 50 entries: one partial chunk.
+  EXPECT_EQ(estimate::chunk_layout_bytes(50.0, p), 50u * 16u + 32u);
+  // 250 entries: three chunks (two full, one partial).
+  EXPECT_EQ(estimate::chunk_layout_bytes(250.0, p), 250u * 16u + 3u * 32u);
+  EXPECT_LE(estimate::chunk_layout_bytes(100.0, p),
+            estimate::chunk_layout_bytes(101.0, p));
+}
+
+TEST(EstimateLayout, EntryCostMatchesChunkConstants) {
+  // Satellite 2: one constexpr per-entry cost shared by the estimator's
+  // default, the closed-form path, and the ESC-global baseline.
+  EXPECT_EQ(estimate::PoolSizingParams{}.entry_bytes, kChunkEntryBytes<double>);
+  static_assert(kChunkEntryBytes<double> == 2 * sizeof(index_t) + sizeof(double));
+  static_assert(kChunkEntryBytes<float> == 2 * sizeof(index_t) + sizeof(float));
+}
+
+TEST(EstimatePlan, RecommendationBracketsAndFloors) {
+  const auto m = gen_uniform_random<double>(800, 800, 7.0, 2.0, 41);
+  estimate::PoolSizingParams p;
+  p.lower_bound_bytes = 1 << 20;
+  const auto plan = estimate::plan_pool_bytes(m, m, p);
+  EXPECT_GE(plan.recommended_bytes, p.lower_bound_bytes);
+  EXPECT_LE(plan.expected_bytes, plan.upper_bytes);
+  EXPECT_GT(plan.upper_bytes, 0u);
+}
+
+// The tentpole acceptance gate in miniature: a mixed-pattern workload whose
+// tight closed-form guess restarts on most cold jobs runs restart-free (or
+// nearly so) when the sampled planner sizes the pool — with bit-identical
+// output. The full 24-job version gates CI via bench_runtime_throughput
+// --smoke.
+TEST(EstimatePlan, SampledSizingCutsColdRestarts) {
+  std::vector<Csr<double>> mats;
+  mats.push_back(gen_stencil_2d<double>(32, 32, 11));
+  mats.push_back(gen_powerlaw<double>(700, 700, 6.0, 1.6, 200, 12));
+  mats.push_back(gen_uniform_random<double>(600, 600, 8.0, 2.0, 13));
+  mats.push_back(gen_block_dense<double>(300, 300, 16, 3, 14));
+
+  Config closed;  // deliberately tight, as in bench_runtime_throughput
+  closed.pool_lower_bound_bytes = 8 << 10;
+  closed.pool_estimate_factor = 0.02;
+  Config sampled = closed;
+  sampled.pool_sizing = PoolSizing::kSampled;
+
+  int restarts_closed = 0, restarts_sampled = 0;
+  for (const auto& m : mats) {
+    SpgemmStats sc, ss;
+    const auto c1 = multiply(m, m, closed, &sc);
+    const auto c2 = multiply(m, m, sampled, &ss);
+    restarts_closed += sc.restarts;
+    restarts_sampled += ss.restarts;
+    EXPECT_TRUE(c1.equals_exact(c2));
+    EXPECT_EQ(ss.pool_estimate_bytes,
+              estimate_chunk_pool_bytes(m, m, sampled));
+  }
+  EXPECT_GE(restarts_closed, 4);   // the tight guess really restarts
+  EXPECT_LE(restarts_sampled, 1);  // the sampled plan essentially does not
+}
+
+TEST(EstimatePlan, SampledEstimateIsPureFunctionOfInput) {
+  const auto m = gen_powerlaw<double>(900, 900, 5.0, 1.6, 250, 51);
+  Config cfg;
+  cfg.pool_sizing = PoolSizing::kSampled;
+  const std::size_t first = estimate_chunk_pool_bytes(m, m, cfg);
+  SpgemmStats stats;
+  (void)multiply(m, m, cfg, &stats);  // running jobs must not perturb it
+  EXPECT_EQ(estimate_chunk_pool_bytes(m, m, cfg), first);
+  // Override and lower bound keep precedence over the sampled plan.
+  cfg.pool_override_bytes = 4242;
+  EXPECT_EQ(estimate_chunk_pool_bytes(m, m, cfg), 4242u);
+  cfg.pool_override_bytes = 0;
+  cfg.pool_lower_bound_bytes = first * 2;
+  EXPECT_EQ(estimate_chunk_pool_bytes(m, m, cfg), first * 2);
+}
+
+}  // namespace
+}  // namespace acs

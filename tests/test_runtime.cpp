@@ -627,7 +627,7 @@ TEST(Engine, BackgroundRetuneRacingSubmissionsStaysBitIdentical) {
     for (const auto& m : mats) pairs.emplace_back(m, m);  // racing, warm
 
   std::vector<std::vector<Csr<float>>> outs;
-  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+  for (const unsigned workers : {1u, 4u}) {
     EngineConfig ec;
     ec.workers = workers;
     ec.tuning = tune::TuningMode::kFeedback;

@@ -625,7 +625,7 @@ struct RunOutput {
 RunOutput run_trace(const std::vector<Csr<double>>& mats,
                     const std::vector<TraceEvent>& trace, unsigned workers,
                     std::size_t dispatch_slack, double cbar, std::size_t pool,
-                    std::chrono::milliseconds pace = {}) {
+                    std::chrono::milliseconds pace = {}, Config job_cfg = {}) {
   ServerConfig scfg;
   scfg.engine.workers = workers;
   scfg.dispatch_slack = dispatch_slack;
@@ -644,7 +644,8 @@ RunOutput run_trace(const std::vector<Csr<double>>& mats,
     if (pace.count() > 0) std::this_thread::sleep_for(pace);
     const auto& am = mats[static_cast<std::size_t>(e.matrix)];
     out.handles.push_back(server.submit(
-        am, am, SubmitInfo{e.tenant, e.priority, e.arrival, e.deadline}));
+        am, am, SubmitInfo{e.tenant, e.priority, e.arrival, e.deadline},
+        job_cfg));
   }
   server.drain();
   out.stats = server.stats();
@@ -742,6 +743,69 @@ TEST(ServeProperty, DecisionStreamIndependentOfWorkerCount) {
     EXPECT_EQ(ta.completed, tb.completed);
     EXPECT_EQ(ta.failed, tb.failed);
   }
+}
+
+/// Sampling-based pool sizing (Config::PoolSizing::kSampled) is a pure
+/// function of the submitted matrices, so admission pricing and the
+/// arena-ceiling backpressure it feeds must stay replayable: the decision
+/// stream is field-exact across worker counts, same as the closed-form
+/// default. A regression here means the estimator leaked run-time state
+/// (thread timing, RNG, shared caches) into its output.
+TEST(ServeProperty, DecisionStreamFieldExactUnderSampledPoolSizing) {
+  Config sampled;
+  sampled.pool_sizing = PoolSizing::kSampled;
+  std::vector<Csr<double>> mats;
+  mats.push_back(gen_uniform_random<double>(120, 120, 5.0, 1.5, 101));
+  mats.push_back(gen_powerlaw<double>(160, 160, 5.0, 1.6, 80, 102));
+  mats.push_back(gen_block_dense<double>(144, 144, 8, 2, 103));
+  const double c0 = probe_cost(mats[0], mats[0]);
+  ASSERT_GT(c0, 0.0);
+  std::size_t pool = 0;
+  for (const auto& m : mats)
+    pool = std::max(pool, estimate_chunk_pool_bytes(m, m, sampled));
+
+  const std::vector<TraceEvent> trace = {
+      {0, "alpha", 4, 0.0, kInf},
+      {1, "beta", 1, 0.0, kInf},
+      {2, "alpha", 2, 0.0, kInf},
+      {0, "beta", 0, 0.0, kInf},
+      {1, "alpha", 3, 0.2 * c0, 0.2 * c0},  // deadline == arrival: rejected
+      {2, "beta", 0, 0.5 * c0, kInf},       // quota pressure on beta
+      {0, "alpha", 1, 1.0 * c0, kInf},
+      {1, "beta", 5, 2.5 * c0, kInf},
+      {2, "alpha", 0, 3.0 * c0, kInf},  // past tune latency: tuned plan
+      {0, "alpha", 2, 4.0 * c0, kInf},
+  };
+
+  auto r1 = run_trace(mats, trace, 1, 1, c0, pool, {}, sampled);
+  auto r4 = run_trace(mats, trace, 4, 3, c0, pool, {}, sampled);
+
+  ASSERT_EQ(r1.handles.size(), trace.size());
+  ASSERT_EQ(r4.handles.size(), trace.size());
+  int admitted = 0, rejected = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    auto& a = r1.handles[i].result();
+    auto& b = r4.handles[i].result();
+    EXPECT_EQ(a.admission, b.admission) << "submission " << i;
+    EXPECT_EQ(a.status, b.status) << "submission " << i;
+    EXPECT_EQ(a.degraded, b.degraded) << "submission " << i;
+    EXPECT_EQ(a.tuned_applied, b.tuned_applied) << "submission " << i;
+    EXPECT_EQ(a.virtual_start_s, b.virtual_start_s) << "submission " << i;
+    EXPECT_EQ(a.virtual_finish_s, b.virtual_finish_s) << "submission " << i;
+    EXPECT_EQ(a.deadline_missed, b.deadline_missed) << "submission " << i;
+    if (a.served()) {
+      EXPECT_TRUE(a.job.c.equals_exact(b.job.c)) << "submission " << i;
+    }
+    admitted += a.admission.admitted() ? 1 : 0;
+    rejected += a.status == ServeStatus::kRejected ? 1 : 0;
+  }
+  EXPECT_GT(admitted, 0);
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(r1.stats.submitted, r4.stats.submitted);
+  EXPECT_EQ(r1.stats.admitted, r4.stats.admitted);
+  EXPECT_EQ(r1.stats.rejected, r4.stats.rejected);
+  EXPECT_EQ(r1.stats.completed, r4.stats.completed);
+  EXPECT_EQ(r1.stats.degraded, r4.stats.degraded);
 }
 
 /// Decisions are a pure function of the submission trace's *virtual*

@@ -174,7 +174,8 @@ TEST(Exporters, FlatJsonGolden) {
       "  \"stage_sim_s\": {\"GLB\": 0.25, \"ESC\": 0.5, \"MCC\": 0, "
       "\"MM\": 0, \"PM\": 0, \"SM\": 0, \"CC\": 0},\n"
       "  \"counters\": {\"pool_alloc_bytes\": 0, \"pool_denials\": 0, "
-      "\"pool_capacity_bytes\": 0, \"pool_used_bytes\": 0, \"restarts\": 2, "
+      "\"pool_capacity_bytes\": 0, \"pool_used_bytes\": 0, "
+      "\"pool_estimate_bytes\": 0, \"restarts\": 2, "
       "\"esc_blocks\": 1, \"esc_iterations\": 3, "
       "\"esc_iteration_hist\": [0, 0, 0, 1, 0, 0, 0, 0], "
       "\"chunks_written\": 0, \"long_row_chunks\": 0, "
@@ -376,6 +377,8 @@ TEST(PipelineTracing, RecordsStageSpansMatchingStats) {
   EXPECT_EQ(c.restarts, static_cast<std::uint64_t>(stats.restarts));
   EXPECT_EQ(c.pool_capacity_bytes, stats.pool_bytes);
   EXPECT_EQ(c.pool_used_bytes, stats.pool_used_bytes);
+  EXPECT_EQ(c.pool_estimate_bytes, stats.pool_estimate_bytes);
+  EXPECT_GT(c.pool_estimate_bytes, 0u);  // cold runs record their estimate
   EXPECT_GT(c.blocks_executed, 0u);  // scheduler block attribution
   EXPECT_GE(c.block_time_ns_max, 1u);
   EXPECT_GE(c.block_time_ns_sum, c.block_time_ns_max);
@@ -422,6 +425,7 @@ TEST(PipelineTracing, DisabledTracingHasZeroSideEffects) {
   EXPECT_EQ(without.restarts, with.restarts);
   EXPECT_EQ(without.pool_bytes, with.pool_bytes);
   EXPECT_EQ(without.pool_used_bytes, with.pool_used_bytes);
+  EXPECT_EQ(without.pool_estimate_bytes, with.pool_estimate_bytes);
   EXPECT_EQ(without.chunks_created, with.chunks_created);
   EXPECT_EQ(without.esc_iterations, with.esc_iterations);
   EXPECT_EQ(without.merged_rows, with.merged_rows);
