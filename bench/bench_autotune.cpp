@@ -42,7 +42,7 @@
 /// A fifth engine then restarts from the persisted cache file and must
 /// serve the whole batch with zero cold tunes and bit-identical output.
 ///
-/// Emits JSON (stdout + bench_autotune.json): jobs/s per engine and batch,
+/// Emits JSON (stdout + bench_out/bench_autotune.json): jobs/s per engine,
 /// the tuned parameter overlay chosen per structure, tuned-vs-default
 /// speedups, restart counts, tuning-lifecycle counters.
 ///
@@ -223,7 +223,8 @@ int main(int argc, char** argv) {
 
   // The cold-path-cliff configuration: predictor-only budgeted cold tunes,
   // asynchronous full-grid refinement, tuned decisions persisted on exit.
-  const std::string cache_path = "bench_autotune_tunecache.bin";
+  const std::string cache_path =
+      acs::bench_out_path("bench_autotune_tunecache.bin");
   std::remove(cache_path.c_str());
   acs::runtime::EngineConfig ad_ec = base_ec;
   ad_ec.tuning = acs::tune::TuningMode::kFeedback;
@@ -330,7 +331,7 @@ int main(int argc, char** argv) {
        << (restored_identical ? "true" : "false") << "\n}\n";
 
   std::cout << json.str();
-  std::ofstream("bench_autotune.json") << json.str();
+  std::ofstream(acs::bench_out_path("bench_autotune.json")) << json.str();
 
   // The PR's acceptance criteria, checked where the numbers are produced.
   const bool fb_ok = fb_speedup >= 1.15 && fb_warm.restarts == 0 && identical;

@@ -21,7 +21,7 @@
 /// All latencies and fairness windows are *virtual* (the deterministic
 /// decision timeline), so the gated numbers are reproducible run to run;
 /// wall clocks appear only in the ceiling phase's stall check. Emits JSON
-/// (stdout + BENCH_service.json) with p50/p99 per tenant, the fairness
+/// (stdout + bench_out/bench_service.json) with p50/p99 per tenant, fairness
 /// index and reject/shed counters.
 ///
 /// Run:  ./bench_service [jobs_per_tenant] [engine_workers] [--smoke]
@@ -41,6 +41,7 @@
 #include "core/acspgemm.hpp"
 #include "matrix/generators.hpp"
 #include "serve/server.hpp"
+#include "suite/bench_runner.hpp"
 #include "tune/features.hpp"
 #include "tune/predictor.hpp"
 
@@ -450,7 +451,7 @@ int main(int argc, char** argv) {
   std::ostringstream json;
   emit_json(json, jobs, workers, smoke, fair, dl, ceil, bit_ok);
   std::cout << json.str();
-  std::ofstream("BENCH_service.json") << json.str();
+  std::ofstream(acs::bench_out_path("bench_service.json")) << json.str();
 
   const bool ok = fair.ok && dl.ok && ceil.ok && bit_ok;
   std::cerr << "jain=" << fair.jain << " p99=" << dl.p99_s

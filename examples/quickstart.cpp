@@ -12,6 +12,7 @@
 #include "matrix/generators.hpp"
 #include "matrix/mmio.hpp"
 #include "matrix/stats.hpp"
+#include "suite/bench_runner.hpp"
 #include "trace/exporters.hpp"
 #include "trace/trace.hpp"
 
@@ -59,7 +60,8 @@ int main(int argc, char** argv) {
             << (c.equals_exact(c2) ? "yes" : "NO (bug!)") << "\n";
 
   // 4. Save the product for external tools.
-  acs::write_matrix_market_file("quickstart_product.mtx", c);
-  std::cout << "wrote quickstart_product.mtx\n";
+  const std::string out = acs::bench_out_path("quickstart_product.mtx");
+  acs::write_matrix_market_file(out, c);
+  std::cout << "wrote " << out << "\n";
   return 0;
 }

@@ -1,0 +1,46 @@
+#include "arch/arch.hpp"
+
+#include <cstring>
+
+#include "arch/invariants.hpp"  // compile-time proofs ride every build
+
+namespace acs::arch {
+
+const char* to_string(ArchId id) {
+  switch (id) {
+    case ArchId::kSimTitanXp: return SimTitanXp::kName;
+    case ArchId::kSimBigDevice: return SimBigDevice::kName;
+    case ArchId::kNativeCpu: return NativeCpu::kName;
+  }
+  return "?";
+}
+
+const char* to_string(ExecKind kind) {
+  switch (kind) {
+    case ExecKind::kSimulated: return "simulated";
+    case ExecKind::kNative: return "native";
+  }
+  return "?";
+}
+
+bool parse_arch(const char* name, ArchId& out) {
+  if (name == nullptr) return false;
+  for (const ArchInfo& info : all_arch_infos()) {
+    if (std::strcmp(name, info.name) == 0) {
+      out = info.id;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::array<ArchInfo, 3>& all_arch_infos() {
+  static const std::array<ArchInfo, 3> infos = {
+      arch_info(ArchId::kSimTitanXp),
+      arch_info(ArchId::kSimBigDevice),
+      arch_info(ArchId::kNativeCpu),
+  };
+  return infos;
+}
+
+}  // namespace acs::arch

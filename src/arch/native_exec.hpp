@@ -1,0 +1,154 @@
+#pragma once
+/// \file native_exec.hpp
+/// Wall-clock-lean block primitives of the NativeCpu backend. The simulated
+/// primitives (sim/block_primitives.hpp, core/compaction.hpp) execute the
+/// GPU's exact data movement so the cost model can charge it; these execute
+/// the same *mathematics* with host-friendly strides and zero allocation on
+/// the steady state, which is where the native backend's throughput comes
+/// from (the ESC hot loop spends most of its time sorting and freeing
+/// per-iteration buffers).
+///
+/// Bit-identity contract (the differential sweep in tests/test_arch.cpp
+/// observes it, DESIGN.md §6 states it):
+///  * `native_radix_sort` is a stable LSD radix sort, ascending on the low
+///    `bits` key bits — the permutation of a stable sort is unique, so any
+///    digit width produces the same order. It picks the widest digit (up to
+///    11 bits) that minimizes the pass count, so a dynamic-bits key of ≤ 22
+///    bits sorts in 2 passes where the simulated 4-bit version takes 6.
+///  * `native_compact_sorted` combines equal-key runs strictly left to
+///    right — the same association Algorithm 3's inclusive scan applies —
+///    and emits rows/counts in the same order, so values and layouts match
+///    the scan emulation bit for bit.
+///
+/// Everything here is duck-typed on the caller's codec/output types so the
+/// arch layer stays below core (core/esc_block.cpp instantiates these with
+/// KeyCodec and CompactionOutput).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace acs::arch {
+
+/// 15-bit compaction-counter bound, mirroring
+/// compaction_detail::kCounterMask so the native path enforces the exact
+/// guard the scan emulation does (core/esc_block.cpp static_asserts the
+/// mirror equality).
+inline constexpr std::size_t kNativeCompactMaxElements = 0x7FFF;
+
+/// Reusable double-buffers for native_radix_sort. One instance per thread
+/// (the ESC workspace holds one thread_local); capacity persists across
+/// calls, so the steady state sorts without touching the allocator.
+template <class K, class V>
+struct NativeSortScratch {
+  std::vector<K> kbuf;
+  std::vector<V> vbuf;
+};
+
+/// Widest radix digit a single pass may consume. 11 bits = 2048 counters
+/// (16 KiB on the stack) — past that, zeroing and re-walking the histogram
+/// costs more than it saves on the block-sized inputs ESC produces.
+inline constexpr int kNativeMaxDigitBits = 11;
+
+/// Stable LSD radix sort of (key, payload) pairs over the low `bits` key
+/// bits, ascending — the native sibling of sim::block_radix_sort, with
+/// pass-minimizing digit widths and caller-owned scratch instead of
+/// per-call buffers. The digit width is the smallest that achieves the
+/// minimum pass count `ceil(bits / kNativeMaxDigitBits)`, keeping the
+/// histogram as small as the pass budget allows.
+template <class K, class V>
+void native_radix_sort(std::span<K> keys, std::span<V> payload, int bits,
+                       NativeSortScratch<K, V>& scratch) {
+  const std::size_t n = keys.size();
+  if (n <= 1 || bits <= 0) return;
+  const int passes = (bits + kNativeMaxDigitBits - 1) / kNativeMaxDigitBits;
+  const int digit_bits = (bits + passes - 1) / passes;
+  const std::uint64_t digit_mask = (std::uint64_t{1} << digit_bits) - 1;
+  const std::size_t buckets = std::size_t{1} << digit_bits;
+
+  if (scratch.kbuf.size() < n) scratch.kbuf.resize(n);
+  if (scratch.vbuf.size() < n) scratch.vbuf.resize(n);
+  K* ksrc = keys.data();
+  V* vsrc = payload.data();
+  K* kdst = scratch.kbuf.data();
+  V* vdst = scratch.vbuf.data();
+
+  for (int p = 0; p < passes; ++p) {
+    const int shift = p * digit_bits;
+    std::size_t count[std::size_t{1} << kNativeMaxDigitBits];
+    std::fill(count, count + buckets, 0);
+    for (std::size_t i = 0; i < n; ++i)
+      count[(static_cast<std::uint64_t>(ksrc[i]) >> shift) & digit_mask]++;
+    std::size_t run = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const std::size_t d = count[b];
+      count[b] = run;
+      run += d;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto d = (static_cast<std::uint64_t>(ksrc[i]) >> shift) & digit_mask;
+      kdst[count[d]] = ksrc[i];
+      vdst[count[d]] = vsrc[i];
+      ++count[d];
+    }
+    std::swap(ksrc, kdst);
+    std::swap(vsrc, vdst);
+  }
+  if (ksrc != keys.data()) {
+    std::copy(ksrc, ksrc + n, keys.data());
+    std::copy(vsrc, vsrc + n, payload.data());
+  }
+}
+
+/// Single-pass compaction of a key-sorted buffer into `out` (any type with
+/// `keys`/`vals`/`rows` vectors shaped like core's CompactionOutput): sum
+/// values of equal keys left to right and record (row, count) pairs at row
+/// ends. Clears `out` but keeps its capacity — the caller reuses one output
+/// across iterations instead of paying the scan emulation's per-call
+/// allocation and O(n) state churn.
+template <class T, class Codec, class Out>
+void native_compact_sorted(std::span<const std::uint64_t> keys,
+                           std::span<const T> vals, const Codec& codec,
+                           Out& out) {
+  out.keys.clear();
+  out.vals.clear();
+  out.rows.clear();
+  const std::size_t n = keys.size();
+  if (n > kNativeCompactMaxElements)
+    throw std::length_error(
+        "native_compact_sorted: " + std::to_string(n) +
+        " elements exceed the 15-bit scan counters (max " +
+        std::to_string(kNativeCompactMaxElements) + ")");
+  if (n == 0) return;
+
+  std::uint64_t run_key = keys[0];
+  T run_val = vals[0];
+  std::uint32_t row_count = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (i < n && keys[i] == run_key) {
+      // Same association as the inclusive scan: accumulate left to right.
+      run_val = run_val + vals[i];
+      continue;
+    }
+    out.keys.push_back(run_key);
+    out.vals.push_back(run_val);
+    ++row_count;
+    if (i == n || !codec.same_row(keys[i], run_key)) {
+      using Row = decltype(codec.row_of(run_key));
+      out.rows.emplace_back(codec.row_of(run_key),
+                            static_cast<Row>(row_count));
+      row_count = 0;
+    }
+    if (i < n) {
+      run_key = keys[i];
+      run_val = vals[i];
+    }
+  }
+}
+
+}  // namespace acs::arch

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "arch/arch_id.hpp"
 #include "core/esc_block.hpp"
 #include "core/invariants.hpp"  // compile-time proofs ride every build
 #include "core/merge.hpp"
@@ -117,6 +118,17 @@ class Pipeline {
   /// can attribute it to their trace span.
   double record_stage(const char* name,
                       const std::vector<sim::MetricCounters>& blocks) {
+    if (cfg_.exec == arch::ExecKind::kNative) {
+      // Native backend: blocks ran for real, there is no simulated kernel
+      // to price — skip the cost model entirely (it is pure overhead on
+      // the wall-clock path) and keep the stage entry at zero sim time.
+      // Block metrics still aggregate: the native ESC path charges almost
+      // nothing to them by design, but merge/CC reuse the simulated
+      // primitives and their counters remain meaningful.
+      stats_.stage_times_s.emplace_back(name, 0.0);
+      for (const auto& bm : blocks) stats_.metrics += bm;
+      return 0.0;
+    }
     const sim::KernelTiming t = sim::schedule_blocks(blocks, cfg_.device);
     stats_.stage_times_s.emplace_back(name, t.time_s);
     stats_.sim_time_s += t.time_s;
@@ -441,12 +453,12 @@ class Pipeline {
               2 * static_cast<std::uint64_t>(chunk.long_len) *
               (sizeof(index_t) + sizeof(T));
         } else {
-          for (index_t i = 0; i < seg.length; ++i) {
-            c.col_idx[static_cast<std::size_t>(out + i)] =
-                chunk.cols[static_cast<std::size_t>(seg.begin + i)];
-            c.values[static_cast<std::size_t>(out + i)] =
-                chunk.vals[static_cast<std::size_t>(seg.begin + i)];
-          }
+          const auto sb = static_cast<std::size_t>(seg.begin);
+          const auto sl = static_cast<std::size_t>(seg.length);
+          std::copy_n(chunk.cols.begin() + static_cast<std::ptrdiff_t>(sb), sl,
+                      c.col_idx.begin() + static_cast<std::ptrdiff_t>(out));
+          std::copy_n(chunk.vals.begin() + static_cast<std::ptrdiff_t>(sb), sl,
+                      c.values.begin() + static_cast<std::ptrdiff_t>(out));
           m.global_bytes_coalesced +=
               2 * static_cast<std::uint64_t>(seg.length) *
               (sizeof(index_t) + sizeof(T));

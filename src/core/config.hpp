@@ -7,6 +7,7 @@
 
 #include <cstddef>
 
+#include "arch/arch_id.hpp"
 #include "matrix/types.hpp"
 #include "sim/device_config.hpp"
 
@@ -104,6 +105,15 @@ struct Config {
   trace::TraceSession* trace = nullptr;
   /// Simulated device.
   sim::DeviceConfig device{};
+  /// How blocks execute (arch backend selection, normally set by the
+  /// runtime engine from `EngineConfig::arch`): `kSimulated` (default)
+  /// charges every block to the simulated cost model of `device`;
+  /// `kNative` runs the same block algorithms with wall-clock-lean
+  /// primitives and zero simulated time (stage times and device-traffic
+  /// metrics then read 0 / near-0). Results are bit-identical either way —
+  /// the ESC/merge geometry still comes from `device`, so keep `device` at
+  /// the arch's values (docs/BACKENDS.md).
+  arch::ExecKind exec = arch::ExecKind::kSimulated;
 
   /// Temporary products held per block per ESC iteration.
   [[nodiscard]] constexpr int temp_capacity() const {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "arch/native_exec.hpp"
 #include "core/compaction.hpp"
 #include "core/sort_key.hpp"
 #include "sim/block_primitives.hpp"
@@ -32,10 +33,12 @@ struct Gathered {
 /// Load all segments of the batch. Pointer chunks materialize `factor × row
 /// of B` on the fly (coalesced read of the long row); regular segments read
 /// the chunk payload (coalesced, one transaction overhead per segment).
-template <class T>
-Gathered<T> gather(const MergeBatch& batch, const std::vector<Chunk<T>>& chunks,
-                   const Csr<T>& b, sim::MetricCounters& m) {
-  Gathered<T> g;
+template <class T, bool kNative>
+void gather(const MergeBatch& batch, const std::vector<Chunk<T>>& chunks,
+            const Csr<T>& b, sim::MetricCounters& m, Gathered<T>& g) {
+  g.lrow.clear();
+  g.col.clear();
+  g.val.clear();
   g.min_col = b.cols;
   g.max_col = 0;
   for (std::size_t r = 0; r < batch.rows.size(); ++r) {
@@ -49,9 +52,12 @@ Gathered<T> gather(const MergeBatch& batch, const std::vector<Chunk<T>>& chunks,
           g.val.push_back(chunk.factor *
                           b.values[static_cast<std::size_t>(start + i)]);
         }
-        m.global_bytes_coalesced += static_cast<std::uint64_t>(chunk.long_len) *
-                                    (sizeof(index_t) + sizeof(T));
-        m.flops += 2 * static_cast<std::uint64_t>(chunk.long_len);
+        if constexpr (!kNative) {
+          m.global_bytes_coalesced +=
+              static_cast<std::uint64_t>(chunk.long_len) *
+              (sizeof(index_t) + sizeof(T));
+          m.flops += 2 * static_cast<std::uint64_t>(chunk.long_len);
+        }
       } else {
         for (index_t i = 0; i < seg.length; ++i) {
           g.lrow.push_back(static_cast<index_t>(r));
@@ -60,9 +66,11 @@ Gathered<T> gather(const MergeBatch& batch, const std::vector<Chunk<T>>& chunks,
           g.val.push_back(
               chunk.vals[static_cast<std::size_t>(seg.begin + i)]);
         }
-        m.global_bytes_coalesced += static_cast<std::uint64_t>(seg.length) *
-                                    (sizeof(index_t) + sizeof(T));
-        m.global_bytes_scattered += 32;  // segment-start transaction
+        if constexpr (!kNative) {
+          m.global_bytes_coalesced += static_cast<std::uint64_t>(seg.length) *
+                                      (sizeof(index_t) + sizeof(T));
+          m.global_bytes_scattered += 32;  // segment-start transaction
+        }
       }
     }
   }
@@ -71,7 +79,6 @@ Gathered<T> gather(const MergeBatch& batch, const std::vector<Chunk<T>>& chunks,
     g.max_col = std::max(g.max_col, c);
   }
   if (g.col.empty()) g.min_col = g.max_col = 0;
-  return g;
 }
 
 /// Per-window cut-discovery cost of the three merge algorithms.
@@ -117,20 +124,41 @@ void charge_cut_discovery(MergeKind kind, const MergeBatch& batch,
   }
 }
 
-}  // namespace
-
+/// Reusable merge-block buffers. The native backend keeps one instance per
+/// scheduler thread alive across blocks (and multiplications) so the steady
+/// state allocates nothing; the simulated backend uses a fresh local per
+/// call, preserving its historical allocation behaviour.
 template <class T>
-MergeOutcome<T> run_merge_block(const MergeBatch& batch,
-                                const std::vector<Chunk<T>>& chunks,
-                                const Csr<T>& b, const Config& cfg,
-                                ChunkPool& pool, MergeKind kind,
-                                std::size_t windows_done_start,
-                                std::uint32_t order_block) {
+struct MergeWorkspace {
+  Gathered<T> g;
+  std::vector<std::uint64_t> keys;
+  std::vector<std::pair<std::size_t, std::size_t>> windows;  // [begin, end)
+  arch::NativeSortScratch<std::uint64_t, T> sort;
+  CompactionOutput<T> compaction;
+
+  static MergeWorkspace& native_instance() {
+    thread_local MergeWorkspace ws;
+    return ws;
+  }
+};
+
+template <class T, bool kNative>
+MergeOutcome<T> run_merge_block_impl(const MergeBatch& batch,
+                                     const std::vector<Chunk<T>>& chunks,
+                                     const Csr<T>& b, const Config& cfg,
+                                     ChunkPool& pool, MergeKind kind,
+                                     std::size_t windows_done_start,
+                                     std::uint32_t order_block) {
   MergeOutcome<T> out;
   out.windows_done = windows_done_start;
   sim::MetricCounters& m = out.metrics;
 
-  Gathered<T> g = gather(batch, chunks, b, m);
+  MergeWorkspace<T> local_ws;
+  MergeWorkspace<T>& ws =
+      kNative ? MergeWorkspace<T>::native_instance() : local_ws;
+
+  Gathered<T>& g = ws.g;
+  gather<T, kNative>(batch, chunks, b, m, g);
   const std::size_t n = g.col.size();
   if (n == 0) return out;
 
@@ -141,16 +169,22 @@ MergeOutcome<T> run_merge_block(const MergeBatch& batch,
 
   // Sort the gathered buffer by (local row, column). Stable, so elements of
   // one (row, column) stay in global chunk order — deterministic sums.
-  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint64_t>& keys = ws.keys;
+  keys.resize(n);
   for (std::size_t i = 0; i < n; ++i)
     keys[i] = codec.encode(g.lrow[i], g.col[i]);
-  sim::block_radix_sort(std::span(keys), std::span(g.val), codec.total_bits(),
-                        m);
+  if constexpr (kNative)
+    arch::native_radix_sort(std::span(keys), std::span(g.val),
+                            codec.total_bits(), ws.sort);
+  else
+    sim::block_radix_sort(std::span(keys), std::span(g.val),
+                          codec.total_bits(), m);
 
   // Window the sorted buffer: never split a key group across windows, and
   // keep each window within the block's scratchpad capacity.
   const auto capacity = static_cast<std::size_t>(cfg.temp_capacity());
-  std::vector<std::pair<std::size_t, std::size_t>> windows;  // [begin, end)
+  std::vector<std::pair<std::size_t, std::size_t>>& windows = ws.windows;
+  windows.clear();
   std::size_t wbegin = 0;
   std::size_t i = 0;
   while (i < n) {
@@ -174,17 +208,26 @@ MergeOutcome<T> run_merge_block(const MergeBatch& batch,
     const auto [begin, end] = windows[w];
     if (w < windows_done_start) continue;  // already written before restart
     ACS_TRACE_SCOPE(detail_trace, "merge.window");
-    if (kind != MergeKind::Multi || w > 0)
-      charge_cut_discovery(kind, batch, chunks, cfg, m);
+    if constexpr (!kNative) {
+      if (kind != MergeKind::Multi || w > 0)
+        charge_cut_discovery(kind, batch, chunks, cfg, m);
+    }
 
     Chunk<T> chunk;
     chunk.order = {order_block, static_cast<std::uint32_t>(w)};
 
     const std::size_t wn = end - begin;
     if (wn <= compaction_detail::kCounterMask) {
-      const CompactionOutput<T> c = compact_sorted<T>(
-          std::span(keys).subspan(begin, wn),
-          std::span<const T>(g.val).subspan(begin, wn), codec, m);
+      if constexpr (kNative)
+        arch::native_compact_sorted(
+            std::span<const std::uint64_t>(keys).subspan(begin, wn),
+            std::span<const T>(g.val).subspan(begin, wn), codec,
+            ws.compaction);
+      else
+        ws.compaction = compact_sorted<T>(
+            std::span(keys).subspan(begin, wn),
+            std::span<const T>(g.val).subspan(begin, wn), codec, m);
+      const CompactionOutput<T>& c = ws.compaction;
       chunk.row_offsets.push_back(0);
       index_t entries = 0;
       for (const auto& [lrow, count] : c.rows) {
@@ -200,11 +243,13 @@ MergeOutcome<T> run_merge_block(const MergeBatch& batch,
       // than fit in a block): sequential accumulation in chained passes.
       T sum = g.val[begin];
       for (std::size_t j = begin + 1; j < end; ++j) sum += g.val[j];
-      m.scan_elements += wn;
-      // The wn-1 additions are useful floating-point work just like the
-      // compaction path's combines — uncharged they vanish from the Fig. 7
-      // breakdown on duplicate-heavy inputs.
-      m.flops += static_cast<std::uint64_t>(wn - 1);
+      if constexpr (!kNative) {
+        m.scan_elements += wn;
+        // The wn-1 additions are useful floating-point work just like the
+        // compaction path's combines — uncharged they vanish from the Fig. 7
+        // breakdown on duplicate-heavy inputs.
+        m.flops += static_cast<std::uint64_t>(wn - 1);
+      }
       chunk.rows.push_back(
           batch.rows[static_cast<std::size_t>(codec.row_of(keys[begin]))]);
       chunk.row_offsets = {0, 1};
@@ -216,15 +261,32 @@ MergeOutcome<T> run_merge_block(const MergeBatch& batch,
       out.needs_restart = true;
       return out;
     }
-    charge_chunk_write(m, chunk.byte_size(), chunk.rows.size());
+    if constexpr (!kNative)
+      charge_chunk_write(m, chunk.byte_size(), chunk.rows.size());
     ACS_TRACE_COUNT(cfg.trace, pool_alloc_bytes, chunk.byte_size());
     ACS_TRACE_COUNT(cfg.trace, chunks_written, 1);
     ACS_TRACE_COUNT(cfg.trace, merge_windows, 1);
-    m.scratch_ops += 2 * chunk.cols.size();
+    if constexpr (!kNative) m.scratch_ops += 2 * chunk.cols.size();
     out.chunks.push_back(std::move(chunk));
     out.windows_done = w + 1;
   }
   return out;
+}
+
+}  // namespace
+
+template <class T>
+MergeOutcome<T> run_merge_block(const MergeBatch& batch,
+                                const std::vector<Chunk<T>>& chunks,
+                                const Csr<T>& b, const Config& cfg,
+                                ChunkPool& pool, MergeKind kind,
+                                std::size_t windows_done_start,
+                                std::uint32_t order_block) {
+  if (cfg.exec == arch::ExecKind::kNative)
+    return run_merge_block_impl<T, true>(batch, chunks, b, cfg, pool, kind,
+                                         windows_done_start, order_block);
+  return run_merge_block_impl<T, false>(batch, chunks, b, cfg, pool, kind,
+                                        windows_done_start, order_block);
 }
 
 template MergeOutcome<float> run_merge_block(

@@ -3,14 +3,35 @@
 #include <algorithm>
 #include <chrono>
 
+#include "arch/arch.hpp"
 #include "runtime/fingerprint.hpp"
 #include "runtime/tune_persist.hpp"
 
 namespace acs::runtime {
 
+void apply_arch(Config& cfg, const EngineConfig& ecfg) {
+  if (ecfg.arch == arch::ArchId::kSimTitanXp) return;
+  const arch::ArchInfo info = arch::arch_info(ecfg.arch);
+  cfg.device = info.device;
+  cfg.exec = info.exec;
+  if (info.exec == arch::ExecKind::kNative) {
+    unsigned n = ecfg.native_threads ? ecfg.native_threads
+                                     : info.default_scheduler_threads;
+    if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+    cfg.scheduler_threads = n;
+  }
+}
+
 template <class T>
 Engine<T>::Engine(EngineConfig config)
     : config_(std::move(config)), cache_(config_.plan_cache_capacity) {
+  // Per-arch tuner grids: a tuner left at the stock nnz_per_block grid
+  // picks up the arch's default (SimBigDevice extends it upward). An
+  // explicitly customized grid wins. Must precede the persisted-tune load
+  // below — options_hash covers the grids.
+  if (config_.tuner.nnz_per_block == tune::TunerOptions{}.nnz_per_block)
+    config_.tuner.nnz_per_block =
+        tune::default_tuner_options(config_.arch).nnz_per_block;
   load_persisted_tunes();  // before any thread exists — no locking needed
   if (config_.background_retune &&
       config_.tuning == tune::TuningMode::kFeedback)
@@ -158,6 +179,11 @@ template <class T>
 JobHandle<T> Engine<T>::submit(
     Csr<T> a, Csr<T> b, Config cfg,
     std::function<void(JobResult<T>&)> on_complete) {
+  // The engine's backend is overlaid at submission, so everything
+  // downstream — tuning bases, pool estimates, background re-tunes — sees
+  // the device the job actually runs on. Under the default arch this is
+  // the identity and the submitted Config runs verbatim.
+  apply_arch(cfg, config_);
   auto state = std::make_shared<detail::JobState<T>>();
   state->a = std::move(a);
   state->b = std::move(b);
@@ -297,7 +323,7 @@ void Engine<T>::run_job(const std::shared_ptr<detail::JobState<T>>& jobp,
     job.cfg.alloc_policy = injected_policy.get();
   }
   try {
-    const Fingerprint key = fingerprint(job.a, job.b);
+    const Fingerprint key = fingerprint(job.a, job.b, config_.arch);
     SpgemmPlan plan;
     const bool hit = config_.use_plan_cache && cache_.lookup(key, plan);
 

@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "arch/arch_id.hpp"
 #include "core/acspgemm.hpp"
 #include "core/chunk.hpp"
 #include "runtime/plan_cache.hpp"
@@ -59,6 +60,21 @@ struct EngineConfig {
   bool use_plan_cache = true;
   /// Recycle chunk-pool capacity across jobs instead of per-call allocation.
   bool use_pool_arena = true;
+  /// Backend every job executes on (src/arch, docs/BACKENDS.md). The
+  /// default `kSimTitanXp` leaves each submitted Config untouched — bit-
+  /// and cost-model-compatible with the pre-arch engine. Any other arch is
+  /// overlaid on the Config at submission (`apply_arch`): its device
+  /// constants and execution kind replace the Config's, the plan cache and
+  /// the persistent tune cache are keyed by the arch so plans never replay
+  /// across backends, and a `tuner` left at the stock grids is seeded from
+  /// `tune::default_tuner_options(arch)` (SimBigDevice widens the
+  /// nnz_per_block grid to what its 96 KiB scratchpad admits).
+  arch::ArchId arch = arch::ArchId::kSimTitanXp;
+  /// Host threads driving each job's blocks under `ArchId::kNativeCpu`
+  /// (applied as `Config::scheduler_threads`); 0 = one per hardware
+  /// thread. Ignored by simulated archs, whose submitted thread count
+  /// stands.
+  unsigned native_threads = 0;
   /// Attach an engine-owned TraceSession to every job whose Config does not
   /// already carry one. The session is returned on `JobResult::trace` (stage
   /// spans + counters, exportable via trace/exporters.hpp). Off by default:
@@ -125,6 +141,16 @@ struct EngineConfig {
   /// start. Requires `use_plan_cache`.
   std::string tune_cache_path;
 };
+
+/// Overlay `ecfg`'s backend onto a job Config: the identity for the
+/// default arch (kSimTitanXp — the submitted Config runs verbatim); for
+/// every other arch, the tag's device constants and execution kind replace
+/// the Config's, and NativeCpu additionally resolves the scheduler thread
+/// count from `EngineConfig::native_threads` (0 = one per hardware
+/// thread). `Engine::submit` applies this to every job; serving layers
+/// that price or tune jobs before submission (src/serve) call it
+/// themselves so their predictions see the device the job will run on.
+void apply_arch(Config& cfg, const EngineConfig& ecfg);
 
 /// Aggregate engine statistics (plan and pool details come from
 /// `Engine::plan_counters()` / `Engine::arena_counters()`).

@@ -31,6 +31,7 @@ std::uint64_t Fingerprint::hash() const {
   h = fnv1a_step(h, static_cast<std::uint64_t>(rows_b));
   h = fnv1a_step(h, static_cast<std::uint64_t>(cols_b));
   h = fnv1a_step(h, static_cast<std::uint64_t>(nnz_b));
+  h = fnv1a_step(h, static_cast<std::uint64_t>(arch));
   return h;
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "arch/arch_id.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/types.hpp"
 
@@ -24,6 +25,12 @@ struct Fingerprint {
   index_t rows_b = 0;
   index_t cols_b = 0;
   offset_t nnz_b = 0;
+  /// Backend the plan was built for (`arch::ArchId` value). Plans are
+  /// arch-specific — load balancing is structural, but learned pool sizes
+  /// and tuned overlays are chosen under one device's constants and grid —
+  /// so two engines on different backends must never share an entry.
+  /// 0 (kSimTitanXp) keeps pre-arch fingerprints stable.
+  std::uint32_t arch = 0;
 
   friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
 
@@ -40,7 +47,7 @@ struct FingerprintHash {
 /// FNV-1a over an index array (exposed for tests).
 std::uint64_t hash_indices(const index_t* data, std::size_t count);
 
-/// Fingerprint of the job C = A·B.
+/// Fingerprint of the job C = A·B on the default backend (kSimTitanXp).
 template <class T>
 Fingerprint fingerprint(const Csr<T>& a, const Csr<T>& b) {
   Fingerprint f;
@@ -51,6 +58,16 @@ Fingerprint fingerprint(const Csr<T>& a, const Csr<T>& b) {
   f.rows_b = b.rows;
   f.cols_b = b.cols;
   f.nnz_b = b.nnz();
+  return f;
+}
+
+/// Fingerprint of the job C = A·B executed on backend `id`. The engine
+/// keys its plan cache (and the persistent tune cache) with this overload,
+/// so the same structure tuned under two archs occupies two entries.
+template <class T>
+Fingerprint fingerprint(const Csr<T>& a, const Csr<T>& b, arch::ArchId id) {
+  Fingerprint f = fingerprint(a, b);
+  f.arch = static_cast<std::uint32_t>(id);
   return f;
 }
 

@@ -8,7 +8,7 @@ namespace {
 
 constexpr char kMagic[8] = {'A', 'C', 'S', 'T', 'U', 'N', 'E', '1'};
 constexpr std::size_t kHeaderBytes = 8 + 4 + 8;  // magic + version + digest
-constexpr std::size_t kRecordFields = 10;  // 7 key + 2 packed overlay + count
+constexpr std::size_t kRecordFields = 11;  // 8 key + 2 packed overlay + count
 constexpr std::size_t kRecordBytes = kRecordFields * 8;
 
 std::uint64_t fnv1a(const unsigned char* data, std::size_t size) {
@@ -69,6 +69,7 @@ bool save_tune_cache(const std::string& path, std::uint64_t options_hash,
     put_i64(payload, e.key.rows_b);
     put_i64(payload, e.key.cols_b);
     put_i64(payload, e.key.nnz_b);
+    put_u64(payload, e.key.arch);
     // Overlay fields packed two-per-word as u32 halves: {npb, retain} and
     // {threshold, pmc}. Sentinels (-1) round-trip exactly; `valid` is
     // implied — only valid overlays are persisted, the loader re-asserts it.
@@ -151,8 +152,9 @@ TuneCacheLoad load_tune_cache(const std::string& path,
     e.key.rows_b = static_cast<index_t>(get_i64(p + 32));
     e.key.cols_b = static_cast<index_t>(get_i64(p + 40));
     e.key.nnz_b = get_i64(p + 48);
-    const std::uint64_t w0 = get_u64(p + 56);
-    const std::uint64_t w1 = get_u64(p + 64);
+    e.key.arch = static_cast<std::uint32_t>(get_u64(p + 56));
+    const std::uint64_t w0 = get_u64(p + 64);
+    const std::uint64_t w1 = get_u64(p + 72);
     const auto hi = [](std::uint64_t w) {
       return static_cast<std::int32_t>(static_cast<std::uint32_t>(w >> 32));
     };
@@ -165,7 +167,7 @@ TuneCacheLoad load_tune_cache(const std::string& path,
     e.tuned.long_row_threshold = hi(w1);
     e.tuned.path_merge_max_chunks = lo(w1);
     e.tuned.valid = true;
-    e.measured_products = get_i64(p + 72);
+    e.measured_products = get_i64(p + 80);
     out.push_back(e);
   }
   return TuneCacheLoad::kLoaded;

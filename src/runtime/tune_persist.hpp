@@ -15,8 +15,14 @@
 ///     options_hash u64  (tune::options_hash of the writing tuner — grids,
 ///                        objective, sampling, predictor calibration)
 ///     count        u64
-///     count records of 10 i64/u64 fields each (7-field fingerprint,
-///     2 packed overlay words, measured products)
+///     count records of 11 i64/u64 fields each (7 structural fingerprint
+///     fields, the fingerprint's arch id, 2 packed overlay words, measured
+///     products)
+///
+/// Version 2 added the arch word (runtime/fingerprint.hpp): a decision
+/// tuned under one backend's device constants and grid must not replay on
+/// another. Version-1 files load as kBadVersion — a clean cold start, the
+/// same as any other drift.
 ///
 /// Loading is corruption-safe by construction: the file is read whole,
 /// then magic, version, payload size and digest are checked before a
@@ -38,7 +44,7 @@
 
 namespace acs::runtime {
 
-inline constexpr std::uint32_t kTuneCacheVersion = 1;
+inline constexpr std::uint32_t kTuneCacheVersion = 2;
 
 /// One persisted tuning decision.
 struct TuneCacheEntry {

@@ -26,6 +26,11 @@ Server<T>::Server(ServerConfig config)
     : cfg_(std::move(config)),
       admission_(cfg_.admission),
       drr_(cfg_.drr_quantum_s) {
+  // Same per-arch tuner-grid seeding as the engine (which runs with tuning
+  // off under a server — the server's grid must widen instead).
+  if (cfg_.tuner.nnz_per_block == tune::TunerOptions{}.nnz_per_block)
+    cfg_.tuner.nnz_per_block =
+        tune::default_tuner_options(cfg_.engine.arch).nnz_per_block;
   const std::size_t executors = std::max(1u, cfg_.admission.executors);
   vfree_.assign(executors, 0.0);
   vbytes_.assign(executors, 0);
@@ -80,6 +85,11 @@ template <class T>
 ServeHandle<T> Server<T>::submit(Csr<T> a, Csr<T> b, SubmitInfo info,
                                  Config cfg) {
   auto state = std::make_shared<detail::ServeState<T>>();
+  // Price, tune and fingerprint under the backend the engine will actually
+  // run: the engine overlays its arch on every submission, so mirror it
+  // here before any prediction — a SimBigDevice makespan (or a NativeCpu
+  // thread count) differs from the submitted Config's device.
+  runtime::apply_arch(cfg, cfg_.engine);
   std::lock_guard<std::mutex> lock(m_);
 
   // The virtual clock never runs backwards: a stale timestamp is clamped
@@ -96,7 +106,7 @@ ServeHandle<T> Server<T>::submit(Csr<T> a, Csr<T> b, SubmitInfo info,
   // Price the request: features are cached per structure fingerprint (the
   // extraction pass is the expensive part), the closed-form predictor then
   // costs one evaluation per submission.
-  const runtime::Fingerprint fp = runtime::fingerprint(a, b);
+  const runtime::Fingerprint fp = runtime::fingerprint(a, b, cfg_.engine.arch);
   PredictionEntry& pe = predictions_[fp];
   if (!pe.have_features) {
     pe.features = tune::extract_features(a, b, cfg_.tuner.sample_stride,

@@ -33,6 +33,12 @@ struct DeviceConfig {
   double ops_per_clock_per_sm = 8.0;
   /// Extra latency of one global atomic, in nanoseconds.
   double atomic_ns = 2.0;
+
+  /// Field-wise equality; constexpr so the arch layer can prove at compile
+  /// time that a tag's constants reproduce a known device exactly
+  /// (arch/invariants.hpp).
+  friend constexpr bool operator==(const DeviceConfig&,
+                                   const DeviceConfig&) = default;
 };
 
 /// The device all benchmarks run on unless overridden (the paper's test

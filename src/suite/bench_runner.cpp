@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 
 #include "core/acspgemm.hpp"
 #include "matrix/stats.hpp"
@@ -102,6 +103,12 @@ double harmonic_mean(const std::vector<double>& v) {
   double denom = 0.0;
   for (double x : v) denom += 1.0 / x;
   return static_cast<double>(v.size()) / denom;
+}
+
+std::string bench_out_path(const std::string& name) {
+  std::error_code ec;  // best-effort: an unwritable cwd surfaces at open()
+  std::filesystem::create_directories("bench_out", ec);
+  return (std::filesystem::path("bench_out") / name).string();
 }
 
 template BatchBenchResult run_engine_batch(

@@ -42,6 +42,12 @@ std::vector<BenchMeasurement> run_benchmarks(
 /// Harmonic mean (the paper's Table 1 aggregation of per-matrix speedups).
 double harmonic_mean(const std::vector<double>& v);
 
+/// "bench_out/<name>": benchmark and example artifacts (JSON reports,
+/// tune-cache binaries, exported matrices) all land in one gitignored
+/// directory next to the working directory instead of littering the repo
+/// root. Creates the directory on first use; returns the relative path.
+[[nodiscard]] std::string bench_out_path(const std::string& name);
+
 /// Wall-clock throughput measurement of a batch of multiplications — the
 /// unit the runtime Engine benchmarks are built from. Wall time is host
 /// time (the quantity batching actually improves), sim_time_s sums the

@@ -16,6 +16,14 @@ const char* to_string(TuningMode mode) {
   return "?";
 }
 
+TunerOptions default_tuner_options(arch::ArchId arch) {
+  TunerOptions opts;
+  if (arch == arch::ArchId::kSimBigDevice)
+    opts.nnz_per_block.assign(std::begin(kBigDeviceNnzPerBlockGrid),
+                              std::end(kBigDeviceNnzPerBlockGrid));
+  return opts;
+}
+
 namespace {
 
 /// Deterministic tie-break: prefer the lexicographically smaller parameter

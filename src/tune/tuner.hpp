@@ -22,6 +22,7 @@
 #include <iterator>
 #include <vector>
 
+#include "arch/arch_id.hpp"
 #include "core/config.hpp"
 #include "core/plan.hpp"
 #include "tune/features.hpp"
@@ -66,6 +67,13 @@ inline constexpr int kDefaultNnzPerBlockGrid[] = {128, 256, 512, 1024};
 inline constexpr int kDefaultRetainGrid[] = {2, 4, 6};
 inline constexpr int kDefaultPathMergeGrid[] = {4, 8, 16};
 
+/// SimBigDevice candidate grid for nnz_per_block: its 96 KiB scratchpad
+/// admits block shapes the 48 KiB default device prunes (1024 and 2048
+/// with double values — tune/invariants.hpp proves both bounds), so the
+/// grid extends upward. Selected through `default_tuner_options`.
+inline constexpr int kBigDeviceNnzPerBlockGrid[] = {128, 256, 512, 1024,
+                                                    2048};
+
 /// Candidate grids and sampling parameters of the tuner. Grids hold the
 /// values tried for each knob; the base Config's own value is always added,
 /// so tuning can never do worse than the default *under the model*.
@@ -84,6 +92,14 @@ struct TunerOptions {
   std::size_t sample_stride = 8;
   std::size_t min_samples = 512;
 };
+
+/// The tuner options an architecture tunes under by default: the stock
+/// grids everywhere, except that SimBigDevice swaps in
+/// `kBigDeviceNnzPerBlockGrid` to exploit its larger scratchpad. The
+/// runtime engine seeds its tuner from this (EngineConfig::arch), and
+/// because `options_hash` covers the grids, plans tuned under one arch's
+/// grid never replay from the persistent cache under another's.
+[[nodiscard]] TunerOptions default_tuner_options(arch::ArchId arch);
 
 /// One priced candidate: the parameter overlay plus its predicted profile.
 struct Candidate {

@@ -55,6 +55,23 @@ TEST(Fingerprint, DistinguishesBOperandShape) {
   EXPECT_FALSE(fingerprint(a, b1) == fingerprint(a, b2));
 }
 
+TEST(Fingerprint, ArchFieldSeparatesBackends) {
+  const auto a = gen_uniform_random<double>(100, 100, 4.0, 1.0, 11);
+  // The 2-arg overload pins the default backend — pre-arch fingerprints
+  // stay byte-for-byte reproducible.
+  EXPECT_EQ(fingerprint(a, a), fingerprint(a, a, arch::ArchId::kSimTitanXp));
+  // Same structure on a different backend is a different key (a plan's
+  // learned pool size and tuned overlay are arch-specific).
+  const Fingerprint titan = fingerprint(a, a, arch::ArchId::kSimTitanXp);
+  const Fingerprint native = fingerprint(a, a, arch::ArchId::kNativeCpu);
+  const Fingerprint big = fingerprint(a, a, arch::ArchId::kSimBigDevice);
+  EXPECT_FALSE(titan == native);
+  EXPECT_FALSE(titan == big);
+  EXPECT_FALSE(native == big);
+  const FingerprintHash h;
+  EXPECT_NE(h(titan), h(native));
+}
+
 // --- PlanCache ------------------------------------------------------------
 
 TEST(PlanCache, HitMissAndLruEviction) {
@@ -98,6 +115,32 @@ TEST(PlanCache, StoreRefreshesExistingEntry) {
   EXPECT_EQ(out.pool_bytes, 900u);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.counters().refreshes, 1u);
+}
+
+TEST(PlanCache, ArchKeysAreIsolatedEntries) {
+  // A plan learned on one backend must never serve another: the same
+  // structural hashes under different arch ids are distinct cache lines.
+  PlanCache cache(4);
+  Fingerprint titan_key = key_of(42);
+  titan_key.arch = static_cast<std::uint32_t>(arch::ArchId::kSimTitanXp);
+  Fingerprint native_key = key_of(42);
+  native_key.arch = static_cast<std::uint32_t>(arch::ArchId::kNativeCpu);
+
+  SpgemmPlan titan_plan;
+  titan_plan.pool_bytes = 111;
+  cache.store(titan_key, titan_plan);
+
+  SpgemmPlan out;
+  EXPECT_FALSE(cache.lookup(native_key, out));  // cross-arch miss
+
+  SpgemmPlan native_plan;
+  native_plan.pool_bytes = 999;
+  cache.store(native_key, native_plan);
+  EXPECT_EQ(cache.size(), 2u);  // both coexist, no refresh
+  ASSERT_TRUE(cache.lookup(titan_key, out));
+  EXPECT_EQ(out.pool_bytes, 111u);
+  ASSERT_TRUE(cache.lookup(native_key, out));
+  EXPECT_EQ(out.pool_bytes, 999u);
 }
 
 // --- PoolArena ------------------------------------------------------------

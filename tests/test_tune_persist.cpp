@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "arch/arch_id.hpp"
 #include "core/acspgemm.hpp"
 #include "matrix/generators.hpp"
 #include "runtime/engine.hpp"
@@ -47,16 +48,20 @@ void write_bytes(const std::string& path,
            static_cast<std::streamsize>(bytes.size()));
 }
 
-/// Three records exercising sentinels (-1 / 0) and large values.
+/// Three records exercising sentinels (-1 / 0), large values, and the
+/// per-record arch id (default, a real backend, and an out-of-enum value a
+/// future build might write — all must round-trip verbatim).
 std::vector<TuneCacheEntry> sample_entries() {
   std::vector<TuneCacheEntry> es(3);
   es[0].key = {0x1234567890abcdefull, 100, 200, 4000, 200, 300, 5000};
   es[0].tuned = {512, 4, 96, 8, true};
   es[0].measured_products = 123456789;
   es[1].key = {0xffffffffffffffffull, 1, 1, 1, 1, 1, 1};
+  es[1].key.arch = static_cast<std::uint32_t>(arch::ArchId::kNativeCpu);
   es[1].tuned = {0, -1, -1, 0, true};  // all-sentinel overlay (keep base)
   es[1].measured_products = 0;
   es[2].key = {42, 30000, 30000, 123456789012ll, 30000, 30000, 99};
+  es[2].key.arch = 0xabcdef12u;  // unknown backend: preserved, not rejected
   es[2].tuned = {1024, 0, 0, 16, true};  // threshold 0 = "auto"
   es[2].measured_products = -1;  // pathological but must round-trip
   return es;
@@ -146,6 +151,12 @@ TEST(TunePersist, TargetedCorruptionsLoadAsCleanColdMiss) {
       {"payload bit flipped mid-record",
        [](std::vector<unsigned char>& f) { f[100] ^= 0x10; },
        TuneCacheLoad::kBadDigest},
+      // Record 0's arch word sits at payload offset 56 (file offset 92).
+      // A flipped backend id would silently apply a foreign arch's overlay,
+      // so the digest must cover it like any other key field.
+      {"arch id of record 0 flipped",
+       [](std::vector<unsigned char>& f) { f[92] ^= 0x02; },
+       TuneCacheLoad::kBadDigest},
       {"last byte flipped",
        [](std::vector<unsigned char>& f) { f.back() ^= 0x01; },
        TuneCacheLoad::kBadDigest},
@@ -161,6 +172,25 @@ TEST(TunePersist, TargetedCorruptionsLoadAsCleanColdMiss) {
     EXPECT_EQ(load_tune_cache(path, kHash, out), c.expected) << c.name;
     EXPECT_TRUE(out.empty()) << c.name;
   }
+  std::remove(path.c_str());
+}
+
+/// Files written before the per-record arch id (format version 1) carry no
+/// backend information, so replaying them could apply a foreign arch's
+/// overlay. The version gate must turn them into a clean cold re-tune —
+/// and it must fire *before* the digest check so the status names the real
+/// reason (the v1 digest is internally consistent, just over an old layout).
+TEST(TunePersist, PreArchVersionOneFilesAreRejectedAsBadVersion) {
+  const std::string path = temp_path("v1_format.bin");
+  ASSERT_TRUE(save_tune_cache(path, kHash, sample_entries()));
+  std::vector<unsigned char> bytes = read_bytes(path);
+  ASSERT_EQ(bytes[8], 2u);  // little-endian version word holds v2
+  bytes[8] = 1;             // masquerade as a pre-arch v1 file
+  write_bytes(path, bytes);
+
+  std::vector<TuneCacheEntry> out{TuneCacheEntry{}};
+  EXPECT_EQ(load_tune_cache(path, kHash, out), TuneCacheLoad::kBadVersion);
+  EXPECT_TRUE(out.empty());
   std::remove(path.c_str());
 }
 

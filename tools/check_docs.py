@@ -19,6 +19,11 @@
 4. Architecture-map completeness: every directory under src/ must be
    named (as `src/<dir>`) in docs/ARCHITECTURE.md, so new subsystems
    cannot ship without a place in the layer map.
+5. Backend-table completeness: every architecture tag compiled into
+   src/arch/ (a struct carrying `static constexpr ArchId kId`) must be
+   listed in docs/BACKENDS.md — both the tag type and its `kName`
+   spelling — so a new backend cannot ship without its row in the
+   porting guide.
 
 Exit code 0 = docs in sync; 1 = drift, with one line per finding.
 """
@@ -217,16 +222,50 @@ def check_architecture_dirs() -> list[str]:
     return errors
 
 
+ARCH_TAG_RE = re.compile(
+    r"struct\s+(\w+)\s*\{[^}]*?static\s+constexpr\s+ArchId\s+kId", re.S)
+ARCH_NAME_RE = re.compile(
+    r"struct\s+(\w+)\s*\{[^}]*?kName\s*=\s*\"([^\"]+)\"", re.S)
+
+
+def check_backends() -> list[str]:
+    """docs/BACKENDS.md must list every arch tag compiled into src/arch/."""
+    backends = REPO / "docs/BACKENDS.md"
+    if not backends.exists():
+        return ["docs/BACKENDS.md: required doc file missing"]
+    text = backends.read_text()
+    errors = []
+    tags: dict[str, str | None] = {}
+    for header in sorted((REPO / "src/arch").glob("*.hpp")):
+        source = header.read_text()
+        names = dict(ARCH_NAME_RE.findall(source))
+        for tag in ARCH_TAG_RE.findall(source):
+            tags[tag] = names.get(tag)
+    if not tags:
+        return ["src/arch: no architecture tags found (ArchId kId markers)"]
+    for tag in sorted(tags):
+        if tag not in text:
+            errors.append(
+                f"docs/BACKENDS.md: arch tag {tag} exists under src/arch/ "
+                f"but is absent from the backend table")
+        kname = tags[tag]
+        if kname and kname not in text:
+            errors.append(
+                f"docs/BACKENDS.md: backend name \"{kname}\" ({tag}) is "
+                f"absent from the backend table")
+    return errors
+
+
 def main() -> int:
     errors = (check_links() + check_drift() + check_changes()
-              + check_architecture_dirs())
+              + check_architecture_dirs() + check_backends())
     for e in errors:
         print(e, file=sys.stderr)
     if errors:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         return 1
-    print("check_docs: links, Config/EngineConfig docs, CHANGES.md and the "
-          "architecture map are in sync")
+    print("check_docs: links, Config/EngineConfig docs, CHANGES.md, the "
+          "architecture map and the backend table are in sync")
     return 0
 
 
