@@ -39,7 +39,7 @@ ByteBudgetPolicy::ByteBudgetPolicy(std::vector<std::size_t> budgets)
     : budgets_(std::move(budgets)) {}
 
 bool ByteBudgetPolicy::allow(const AllocationRequest& request) {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   if (stage_ < budgets_.size() &&
       granted_ + request.bytes > budgets_[stage_]) {
     ++stage_;  // one denial per budget: the next round sees the next budget
@@ -50,12 +50,12 @@ bool ByteBudgetPolicy::allow(const AllocationRequest& request) {
 }
 
 std::uint64_t ByteBudgetPolicy::denials() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   return static_cast<std::uint64_t>(stage_);
 }
 
 std::size_t ByteBudgetPolicy::stages_passed() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   return stage_;
 }
 

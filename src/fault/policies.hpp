@@ -17,10 +17,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "core/chunk.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace acs::fault {
 
@@ -126,17 +126,17 @@ class ByteBudgetPolicy final : public AllocationPolicy {
  public:
   explicit ByteBudgetPolicy(std::vector<std::size_t> budgets);
 
-  bool allow(const AllocationRequest& request) override;
+  bool allow(const AllocationRequest& request) override ACS_EXCLUDES(m_);
 
-  [[nodiscard]] std::uint64_t denials() const;
+  [[nodiscard]] std::uint64_t denials() const ACS_EXCLUDES(m_);
   /// Budgets already exhausted (== denials issued, one per stage).
-  [[nodiscard]] std::size_t stages_passed() const;
+  [[nodiscard]] std::size_t stages_passed() const ACS_EXCLUDES(m_);
 
  private:
   const std::vector<std::size_t> budgets_;
-  mutable std::mutex m_;
-  std::size_t granted_ = 0;
-  std::size_t stage_ = 0;
+  mutable acs::Mutex m_;
+  std::size_t granted_ ACS_GUARDED_BY(m_) = 0;
+  std::size_t stage_ ACS_GUARDED_BY(m_) = 0;
 };
 
 }  // namespace acs::fault

@@ -32,10 +32,10 @@ Engine<T>::Engine(EngineConfig config)
   if (config_.tuner.nnz_per_block == tune::TunerOptions{}.nnz_per_block)
     config_.tuner.nnz_per_block =
         tune::default_tuner_options(config_.arch).nnz_per_block;
-  load_persisted_tunes();  // before any thread exists — no locking needed
-  if (config_.background_retune &&
-      config_.tuning == tune::TuningMode::kFeedback)
-    bg_thread_ = std::thread([this] { bg_loop(); });
+  load_persisted_tunes();  // before any thread exists — uncontended
+  bg_enabled_ = config_.background_retune &&
+                config_.tuning == tune::TuningMode::kFeedback;
+  if (bg_enabled_) bg_thread_ = std::thread([this] { bg_loop(); });
   unsigned n = config_.workers;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
@@ -46,10 +46,10 @@ Engine<T>::Engine(EngineConfig config)
 template <class T>
 Engine<T>::~Engine() {
   wait_all();
-  if (bg_thread_.joinable()) {
+  if (bg_enabled_) {
     wait_background_tunes();  // every queued re-tune lands before the flush
     {
-      std::lock_guard<std::mutex> lock(bg_m_);
+      acs::MutexLock lock(bg_m_);
       bg_stop_ = true;
     }
     bg_cv_.notify_all();
@@ -57,7 +57,7 @@ Engine<T>::~Engine() {
   }
   if (!config_.tune_cache_path.empty()) (void)flush_tune_cache();
   {
-    std::lock_guard<std::mutex> lock(m_);
+    acs::MutexLock lock(m_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -81,6 +81,7 @@ void Engine<T>::load_persisted_tunes() {
     plan.feedback_runs = 1;  // persisted decisions are final — no re-tune
     cache_.store(it->key, std::move(plan));
   }
+  acs::MutexLock lock(m_);  // uncontended (constructor), held for the proof
   stats_.cache_loads = entries.size();
 }
 
@@ -98,11 +99,11 @@ bool Engine<T>::flush_tune_cache() {
 
 template <class T>
 void Engine<T>::wait_background_tunes() {
-  if (!bg_thread_.joinable()) return;
-  std::unique_lock<std::mutex> lock(bg_m_);
+  if (!bg_enabled_) return;
+  acs::MutexLock lock(bg_m_);
   ++bg_drainers_;  // overrides the low-priority deferral below
   bg_cv_.notify_all();
-  bg_idle_cv_.wait(lock, [&] { return bg_queue_.empty() && !bg_busy_; });
+  while (!bg_queue_.empty() || bg_busy_) bg_idle_cv_.wait(lock);
   --bg_drainers_;
 }
 
@@ -121,7 +122,7 @@ void Engine<T>::bg_loop() {
   for (;;) {
     BgTune task;
     {
-      std::unique_lock<std::mutex> lock(bg_m_);
+      acs::MutexLock lock(bg_m_);
       // Low-priority by deferral: while foreground jobs are in flight the
       // re-tune waits (the predictor-chosen plan keeps serving) until the
       // engine goes idle, the task ages past kBgTuneMaxDeferral, or a
@@ -158,11 +159,11 @@ void Engine<T>::bg_loop() {
       // decision in place; the engine keeps serving it.
     }
     {
-      std::lock_guard<std::mutex> lock(m_);
+      acs::MutexLock lock(m_);
       ++stats_.bg_tunes;
     }
     {
-      std::lock_guard<std::mutex> lock(bg_m_);
+      acs::MutexLock lock(bg_m_);
       bg_busy_ = false;
       task.job.reset();  // release the operands before waking waiters
       if (bg_queue_.empty()) bg_idle_cv_.notify_all();
@@ -190,7 +191,7 @@ JobHandle<T> Engine<T>::submit(
   state->cfg = cfg;
   state->on_complete = std::move(on_complete);
   {
-    std::lock_guard<std::mutex> lock(m_);
+    acs::MutexLock lock(m_);
     state->seq = stats_.jobs_submitted;
     queue_.push_back(state);
     ++in_flight_;
@@ -212,6 +213,7 @@ std::vector<JobResult<T>> Engine<T>::multiply_batch(
     // Not h.result(): that rethrows, which would abandon the remaining
     // handles' results. Failures travel on JobResult::error instead.
     h.wait();
+    acs::MutexLock lock(h.state_->job_m);
     results.push_back(std::move(h.state_->result));
   }
   return results;
@@ -219,19 +221,19 @@ std::vector<JobResult<T>> Engine<T>::multiply_batch(
 
 template <class T>
 void Engine<T>::wait_all() {
-  std::unique_lock<std::mutex> lock(m_);
-  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  acs::MutexLock lock(m_);
+  while (in_flight_ != 0) idle_cv_.wait(lock);
 }
 
 template <class T>
 EngineStats Engine<T>::stats() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   return stats_;
 }
 
 template <class T>
 trace::MetricsSnapshot Engine<T>::metrics() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   trace::MetricsSnapshot out = metrics_;
   // Tuning-lifecycle counters are engine-level facts, not per-job trace
   // sums; overlay them the way Server::metrics overlays serve_* traffic.
@@ -247,8 +249,8 @@ void Engine<T>::work_loop() {
   for (;;) {
     std::shared_ptr<detail::JobState<T>> job;
     {
-      std::unique_lock<std::mutex> lock(m_);
-      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      acs::MutexLock lock(m_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(lock);
       if (queue_.empty()) return;  // stop_ set and nothing left to do
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -263,7 +265,7 @@ void Engine<T>::work_loop() {
       // re-completing a job that already published is a no-op.
       std::exception_ptr e = std::current_exception();
       {
-        std::lock_guard<std::mutex> lock(m_);
+        acs::MutexLock lock(m_);
         ++stats_.jobs_completed;
         ++stats_.jobs_failed;
       }
@@ -283,15 +285,18 @@ void Engine<T>::work_loop() {
     }
     bool idle = false;
     {
-      std::lock_guard<std::mutex> lock(m_);
+      acs::MutexLock lock(m_);
       if (--in_flight_ == 0) {
         idle_cv_.notify_all();
         idle = true;
       }
     }
     // The background tuner defers while work is in flight; tell it the
-    // engine just went idle so deferred re-tunes start immediately.
-    if (idle && bg_thread_.joinable()) bg_cv_.notify_all();
+    // engine just went idle so deferred re-tunes start immediately. Probe
+    // bg_enabled_, not bg_thread_.joinable(): the destructor may already
+    // be joining bg_thread_ once in_flight_ hit zero, and joinable() on a
+    // thread object being joined concurrently is a data race.
+    if (idle && bg_enabled_) bg_cv_.notify_all();
   }
 }
 
@@ -435,7 +440,7 @@ void Engine<T>::run_job(const std::shared_ptr<detail::JobState<T>>& jobp,
     if (config_.use_plan_cache) cache_.store(key, std::move(plan));
     if (schedule_bg) {
       {
-        std::lock_guard<std::mutex> lock(bg_m_);
+        acs::MutexLock lock(bg_m_);
         bg_queue_.push_back(std::move(bg));
       }
       bg_cv_.notify_one();
@@ -448,7 +453,7 @@ void Engine<T>::run_job(const std::shared_ptr<detail::JobState<T>>& jobp,
   }
 
   {
-    std::lock_guard<std::mutex> lock(m_);
+    acs::MutexLock lock(m_);
     ++stats_.jobs_completed;
     if (error) ++stats_.jobs_failed;
     if (cold_tuned && !error) ++stats_.cold_tunes;

@@ -26,13 +26,11 @@
 /// \endcode
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -41,6 +39,7 @@
 #include "arch/arch_id.hpp"
 #include "core/acspgemm.hpp"
 #include "core/chunk.hpp"
+#include "core/thread_annotations.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/pool_arena.hpp"
 #include "trace/metrics.hpp"
@@ -205,18 +204,18 @@ struct JobState {
   /// can observe or move it concurrently. See Engine::submit overload.
   std::function<void(JobResult<T>&)> on_complete;
 
-  std::mutex m;
-  std::condition_variable cv;
-  bool done = false;
-  JobResult<T> result;
-  std::exception_ptr error;
+  acs::Mutex job_m;
+  acs::CondVar cv;
+  bool done ACS_GUARDED_BY(job_m) = false;
+  JobResult<T> result ACS_GUARDED_BY(job_m);
+  std::exception_ptr error ACS_GUARDED_BY(job_m);
 
   /// Publish the job's outcome. Idempotent: the first completion wins, so a
   /// worker that fails while publishing can be completed again by its
   /// work_loop safety net without clobbering an already-delivered result.
-  void complete(JobResult<T> r, std::exception_ptr e) {
+  void complete(JobResult<T> r, std::exception_ptr e) ACS_EXCLUDES(job_m) {
     {
-      std::lock_guard<std::mutex> lock(m);
+      acs::MutexLock lock(job_m);
       if (done) return;
       result = std::move(r);
       error = e;
@@ -241,13 +240,13 @@ class JobHandle {
   [[nodiscard]] bool valid() const { return state_ != nullptr; }
 
   [[nodiscard]] bool ready() const {
-    std::lock_guard<std::mutex> lock(state_->m);
+    acs::MutexLock lock(state_->job_m);
     return state_->done;
   }
 
   void wait() const {
-    std::unique_lock<std::mutex> lock(state_->m);
-    state_->cv.wait(lock, [&] { return state_->done; });
+    acs::MutexLock lock(state_->job_m);
+    while (!state_->done) state_->cv.wait(lock);
   }
 
   /// Block until the job finishes; rethrows the job's exception (e.g.
@@ -255,6 +254,10 @@ class JobHandle {
   /// any handle to the job exists.
   [[nodiscard]] JobResult<T>& result() const {
     wait();
+    // Relocking after wait() keeps the guarded reads provable; once `done`
+    // is set the state is immutable (complete() is first-writer-wins), so
+    // the returned reference stays safe to use unlocked.
+    acs::MutexLock lock(state_->job_m);
     if (state_->error) std::rethrow_exception(state_->error);
     return state_->result;
   }
@@ -302,13 +305,13 @@ class Engine {
       const Config& cfg = {});
 
   /// Block until every submitted job has completed.
-  void wait_all();
+  void wait_all() ACS_EXCLUDES(m_);
 
   /// Block until the background tuner thread has drained its queue (no-op
   /// when `EngineConfig::background_retune` is off). Jobs submitted while
   /// waiting may enqueue further re-tunes; call after `wait_all()` for a
   /// quiescent engine.
-  void wait_background_tunes();
+  void wait_background_tunes() ACS_EXCLUDES(bg_m_);
 
   /// Write every tuned cached plan to `EngineConfig::tune_cache_path` now
   /// (the destructor does this automatically). Returns false when no path
@@ -316,11 +319,11 @@ class Engine {
   /// write intact.
   bool flush_tune_cache();
 
-  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] EngineStats stats() const ACS_EXCLUDES(m_);
   /// Rolling metrics aggregated over every successfully completed job
   /// (stage sim-time totals, restarts, pool high-water marks, trace
   /// counters of jobs that ran with a session attached).
-  [[nodiscard]] trace::MetricsSnapshot metrics() const;
+  [[nodiscard]] trace::MetricsSnapshot metrics() const ACS_EXCLUDES(m_);
   [[nodiscard]] PlanCache::Counters plan_counters() const {
     return cache_.counters();
   }
@@ -332,13 +335,13 @@ class Engine {
   }
   /// Jobs queued but not yet picked up by a worker (introspection for
   /// backpressure layers; racy by nature — a snapshot, not a fence).
-  [[nodiscard]] std::size_t queue_depth() const {
-    std::lock_guard<std::mutex> lock(m_);
+  [[nodiscard]] std::size_t queue_depth() const ACS_EXCLUDES(m_) {
+    acs::MutexLock lock(m_);
     return queue_.size();
   }
   /// Jobs submitted and not yet completed (queued + executing).
-  [[nodiscard]] std::size_t in_flight() const {
-    std::lock_guard<std::mutex> lock(m_);
+  [[nodiscard]] std::size_t in_flight() const ACS_EXCLUDES(m_) {
+    acs::MutexLock lock(m_);
     return in_flight_;
   }
 
@@ -365,41 +368,46 @@ class Engine {
   };
 
   /// True when no submitted job is queued or executing. The background
-  /// tuner polls this to stay off the foreground's critical path.
-  [[nodiscard]] bool foreground_idle() const {
-    std::lock_guard<std::mutex> lock(m_);
+  /// tuner polls this to stay off the foreground's critical path (holding
+  /// bg_m_ — the one sanctioned bg_m_ -> m_ nesting, lock_order.toml).
+  [[nodiscard]] bool foreground_idle() const ACS_EXCLUDES(m_) {
+    acs::MutexLock lock(m_);
     return in_flight_ == 0;
   }
 
-  void work_loop();
+  void work_loop() ACS_EXCLUDES(m_, bg_m_);
   void run_job(const std::shared_ptr<detail::JobState<T>>& job,
-               WorkerContext& ctx);
-  void bg_loop();
-  void load_persisted_tunes();
+               WorkerContext& ctx) ACS_EXCLUDES(m_, bg_m_);
+  void bg_loop() ACS_EXCLUDES(bg_m_, m_);
+  void load_persisted_tunes() ACS_EXCLUDES(m_);
 
   EngineConfig config_;
   PlanCache cache_;
   PoolArena arena_;
 
-  mutable std::mutex m_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::shared_ptr<detail::JobState<T>>> queue_;
-  std::size_t in_flight_ = 0;  ///< queued + executing
-  bool stop_ = false;
-  EngineStats stats_;
-  trace::MetricsSnapshot metrics_;
+  mutable acs::Mutex m_;
+  acs::CondVar work_cv_;
+  acs::CondVar idle_cv_;
+  std::deque<std::shared_ptr<detail::JobState<T>>> queue_ ACS_GUARDED_BY(m_);
+  std::size_t in_flight_ ACS_GUARDED_BY(m_) = 0;  ///< queued + executing
+  bool stop_ ACS_GUARDED_BY(m_) = false;
+  EngineStats stats_ ACS_GUARDED_BY(m_);
+  trace::MetricsSnapshot metrics_ ACS_GUARDED_BY(m_);
 
-  std::mutex bg_m_;
-  std::condition_variable bg_cv_;       ///< wakes the tuner thread
-  std::condition_variable bg_idle_cv_;  ///< wakes wait_background_tunes
-  std::deque<BgTune> bg_queue_;
-  bool bg_busy_ = false;  ///< tuner thread holds a dequeued task
-  bool bg_stop_ = false;
+  acs::Mutex bg_m_;
+  acs::CondVar bg_cv_;       ///< wakes the tuner thread
+  acs::CondVar bg_idle_cv_;  ///< wakes wait_background_tunes
+  std::deque<BgTune> bg_queue_ ACS_GUARDED_BY(bg_m_);
+  bool bg_busy_ ACS_GUARDED_BY(bg_m_) = false;  ///< tuner holds a task
+  bool bg_stop_ ACS_GUARDED_BY(bg_m_) = false;
   /// Callers inside wait_background_tunes(); a positive count overrides
   /// the low-priority deferral so drains finish promptly.
-  int bg_drainers_ = 0;
-  std::thread bg_thread_;  ///< joinable only when background_retune is on
+  int bg_drainers_ ACS_GUARDED_BY(bg_m_) = 0;
+  /// Background tuning requested and active. Const after construction:
+  /// workers read it to nudge the tuner on idle, and probing bg_thread_
+  /// instead would race the destructor's join() (see the work_loop note).
+  bool bg_enabled_ = false;
+  std::thread bg_thread_;  ///< joinable only when bg_enabled_
 
   std::vector<std::thread> workers_;
 };

@@ -9,7 +9,7 @@ PlanCache::PlanCache(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)) {}
 
 bool PlanCache::lookup(const Fingerprint& key, SpgemmPlan& plan) {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++counters_.misses;
@@ -35,7 +35,7 @@ void PlanCache::apply_upgrade_locked(SpgemmPlan& plan, const Upgrade& up) {
 }
 
 void PlanCache::store(const Fingerprint& key, SpgemmPlan plan) {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   // A recorded upgrade outranks whatever tune state the caller carries:
   // the plan may have been looked up before the re-tune landed.
   if (const auto up = upgrades_.find(key); up != upgrades_.end())
@@ -60,7 +60,7 @@ void PlanCache::store(const Fingerprint& key, SpgemmPlan plan) {
 bool PlanCache::upgrade_tuned(const Fingerprint& key,
                               const TunedParams& refined,
                               offset_t measured_products) {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   const Upgrade up{refined, measured_products};
   upgrades_[key] = up;
   const auto it = index_.find(key);
@@ -70,7 +70,7 @@ bool PlanCache::upgrade_tuned(const Fingerprint& key,
 }
 
 std::vector<PlanCache::TunedEntry> PlanCache::tuned_entries() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   std::vector<TunedEntry> out;
   out.reserve(lru_.size());
   for (const Entry& e : lru_)
@@ -80,17 +80,17 @@ std::vector<PlanCache::TunedEntry> PlanCache::tuned_entries() const {
 }
 
 PlanCache::Counters PlanCache::counters() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   return counters_;
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   return lru_.size();
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   lru_.clear();
   index_.clear();
   upgrades_.clear();

@@ -11,11 +11,11 @@
 
 #include <cstddef>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/plan.hpp"
+#include "core/thread_annotations.hpp"
 #include "runtime/fingerprint.hpp"
 
 namespace acs::runtime {
@@ -27,14 +27,14 @@ class PlanCache {
 
   /// Copy the cached plan for `key` into `plan` and mark the entry
   /// most-recently-used. Returns false (and counts a miss) when absent.
-  bool lookup(const Fingerprint& key, SpgemmPlan& plan);
+  bool lookup(const Fingerprint& key, SpgemmPlan& plan) ACS_EXCLUDES(m_);
 
   /// Insert or refresh the plan for `key` (moves `plan` in), evicting the
   /// least-recently-used entry beyond capacity. A tuned upgrade recorded by
   /// `upgrade_tuned` always wins over the incoming plan's tune state: a
   /// worker that looked its plan up before the background re-tune landed
   /// cannot clobber the refined overlay when it stores the plan back.
-  void store(const Fingerprint& key, SpgemmPlan plan);
+  void store(const Fingerprint& key, SpgemmPlan plan) ACS_EXCLUDES(m_);
 
   /// Atomically swap the refined overlay chosen by a background re-tune
   /// into the cached plan for `key` (and remember it, so in-flight stale
@@ -46,7 +46,7 @@ class PlanCache {
   /// an upgrade is maintenance, not a use. Returns false when `key` is not
   /// cached (the upgrade is still remembered for stale stores).
   bool upgrade_tuned(const Fingerprint& key, const TunedParams& refined,
-                     offset_t measured_products);
+                     offset_t measured_products) ACS_EXCLUDES(m_);
 
   struct Counters {
     std::size_t hits = 0;
@@ -62,10 +62,10 @@ class PlanCache {
     }
   };
 
-  [[nodiscard]] Counters counters() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Counters counters() const ACS_EXCLUDES(m_);
+  [[nodiscard]] std::size_t size() const ACS_EXCLUDES(m_);
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  void clear();
+  void clear() ACS_EXCLUDES(m_);
 
   /// Every cached plan whose tuner overlay is valid, as persistable
   /// records (runtime/tune_persist.hpp consumes this shape). Snapshot
@@ -76,7 +76,7 @@ class PlanCache {
     TunedParams tuned;
     offset_t measured_products = 0;
   };
-  [[nodiscard]] std::vector<TunedEntry> tuned_entries() const;
+  [[nodiscard]] std::vector<TunedEntry> tuned_entries() const ACS_EXCLUDES(m_);
 
  private:
   struct Entry {
@@ -93,16 +93,17 @@ class PlanCache {
   /// tables when the overlay actually changes. Caller holds m_.
   static void apply_upgrade_locked(SpgemmPlan& plan, const Upgrade& up);
 
-  mutable std::mutex m_;
-  std::size_t capacity_;
+  mutable acs::Mutex m_;
+  std::size_t capacity_;  ///< const after construction
   /// Most-recently-used at the front.
-  std::list<Entry> lru_;
+  std::list<Entry> lru_ ACS_GUARDED_BY(m_);
   std::unordered_map<Fingerprint, std::list<Entry>::iterator, FingerprintHash>
-      index_;
+      index_ ACS_GUARDED_BY(m_);
   /// Background re-tune results, kept until their entry is evicted so a
   /// stale in-flight store cannot roll the refined overlay back.
-  std::unordered_map<Fingerprint, Upgrade, FingerprintHash> upgrades_;
-  Counters counters_;
+  std::unordered_map<Fingerprint, Upgrade, FingerprintHash> upgrades_
+      ACS_GUARDED_BY(m_);
+  Counters counters_ ACS_GUARDED_BY(m_);
 };
 
 }  // namespace acs::runtime

@@ -5,7 +5,7 @@
 namespace acs::runtime {
 
 PoolArena::Lease PoolArena::acquire(std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   ++counters_.acquires;
   ++counters_.outstanding;
 
@@ -36,7 +36,7 @@ PoolArena::Lease PoolArena::acquire(std::size_t bytes) {
 }
 
 void PoolArena::release(std::size_t final_bytes) {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   slabs_.insert(final_bytes);
   counters_.high_water_bytes =
       std::max(counters_.high_water_bytes, final_bytes);
@@ -44,19 +44,19 @@ void PoolArena::release(std::size_t final_bytes) {
 }
 
 PoolArena::Counters PoolArena::counters() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   return counters_;
 }
 
 std::size_t PoolArena::free_bytes() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   std::size_t total = 0;
   for (const std::size_t s : slabs_) total += s;
   return total;
 }
 
 void PoolArena::clear() {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   slabs_.clear();
   counters_ = Counters{};
 }

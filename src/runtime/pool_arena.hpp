@@ -11,8 +11,9 @@
 /// restarts. Thread-safe.
 
 #include <cstddef>
-#include <mutex>
 #include <set>
+
+#include "core/thread_annotations.hpp"
 
 namespace acs::runtime {
 
@@ -27,12 +28,12 @@ class PoolArena {
   };
 
   /// Reserve at least `bytes` of pool capacity.
-  Lease acquire(std::size_t bytes);
+  Lease acquire(std::size_t bytes) ACS_EXCLUDES(m_);
 
   /// Return a lease. `final_bytes` is the pool capacity at the end of the
   /// job — initial lease plus any restart growth — which becomes the slab's
   /// new (high-water) size.
-  void release(std::size_t final_bytes);
+  void release(std::size_t final_bytes) ACS_EXCLUDES(m_);
 
   struct Counters {
     std::size_t fresh_bytes = 0;    ///< capacity newly allocated
@@ -43,15 +44,15 @@ class PoolArena {
     std::size_t outstanding = 0;    ///< leases not yet released
   };
 
-  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] Counters counters() const ACS_EXCLUDES(m_);
   /// Total capacity currently parked in free slabs.
-  [[nodiscard]] std::size_t free_bytes() const;
-  void clear();
+  [[nodiscard]] std::size_t free_bytes() const ACS_EXCLUDES(m_);
+  void clear() ACS_EXCLUDES(m_);
 
  private:
-  mutable std::mutex m_;
-  std::multiset<std::size_t> slabs_;
-  Counters counters_;
+  mutable acs::Mutex m_;
+  std::multiset<std::size_t> slabs_ ACS_GUARDED_BY(m_);
+  Counters counters_ ACS_GUARDED_BY(m_);
 };
 
 }  // namespace acs::runtime

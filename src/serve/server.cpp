@@ -51,7 +51,7 @@ template <class T>
 Server<T>::~Server() {
   drain();
   {
-    std::lock_guard<std::mutex> lock(tune_m_);
+    acs::MutexLock lock(tune_m_);
     tune_stop_ = true;
   }
   tune_cv_.notify_all();
@@ -90,7 +90,7 @@ ServeHandle<T> Server<T>::submit(Csr<T> a, Csr<T> b, SubmitInfo info,
   // here before any prediction — a SimBigDevice makespan (or a NativeCpu
   // thread count) differs from the submitted Config's device.
   runtime::apply_arch(cfg, cfg_.engine);
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
 
   // The virtual clock never runs backwards: a stale timestamp is clamped
   // to the latest arrival so the decision model stays well-defined.
@@ -126,7 +126,7 @@ ServeHandle<T> Server<T>::submit(Csr<T> a, Csr<T> b, SubmitInfo info,
       pe.tune_base = cfg;
       degraded = true;
       {
-        std::lock_guard<std::mutex> tlock(tune_m_);
+        acs::MutexLock tlock(tune_m_);
         tune_queue_.push_back(TuneTask{fp, pe.features, cfg});
       }
       tune_cv_.notify_one();
@@ -376,7 +376,7 @@ void Server<T>::pump_locked() {
           // unresolved_ == 0, every handle is guaranteed resolved.
           st->resolve(std::move(proto));
           {
-            std::lock_guard<std::mutex> lock(m_);
+            acs::MutexLock lock(m_);
             --outstanding_;
             outstanding_pool_bytes_ -= pool;
             TenantRuntime& tr = tenants_[tidx];
@@ -433,8 +433,8 @@ void Server<T>::tune_loop() {
   for (;;) {
     TuneTask task;
     {
-      std::unique_lock<std::mutex> lock(tune_m_);
-      tune_cv_.wait(lock, [&] { return tune_stop_ || !tune_queue_.empty(); });
+      acs::MutexLock lock(tune_m_);
+      while (!tune_stop_ && tune_queue_.empty()) tune_cv_.wait(lock);
       if (tune_queue_.empty()) return;  // tune_stop_ set and queue drained
       task = std::move(tune_queue_.front());
       tune_queue_.pop_front();
@@ -443,7 +443,7 @@ void Server<T>::tune_loop() {
     const TunedParams p =
         tuner.choose(task.features, task.base, sizeof(T), 0.0);
     {
-      std::lock_guard<std::mutex> lock(m_);
+      acs::MutexLock lock(m_);
       PredictionEntry& pe = predictions_[task.fp];
       if (!pe.tuned_computed) {
         pe.tuned = p;
@@ -455,15 +455,15 @@ void Server<T>::tune_loop() {
 
 template <class T>
 void Server<T>::drain() {
-  std::unique_lock<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   advance_virtual_locked(std::numeric_limits<double>::infinity());
   pump_locked();
-  drain_cv_.wait(lock, [&] { return unresolved_ == 0; });
+  while (unresolved_ != 0) drain_cv_.wait(lock);
 }
 
 template <class T>
 ServeStats Server<T>::stats() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   ServeStats s = totals_;
   s.tenants.clear();
   s.tenants.reserve(tenants_.size());
@@ -477,7 +477,7 @@ template <class T>
 trace::MetricsSnapshot Server<T>::metrics() const {
   // Engine first, without holding m_ (each side locks only its own mutex).
   trace::MetricsSnapshot m = engine_->metrics();
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   m.counters.serve_submitted = totals_.submitted;
   m.counters.serve_admitted = totals_.admitted;
   m.counters.serve_rejected = totals_.rejected;

@@ -45,13 +45,11 @@
 ///   if (h.decision().admitted()) use(h.result().job.c);
 /// \endcode
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -60,6 +58,7 @@
 
 #include "core/config.hpp"
 #include "core/plan.hpp"
+#include "core/thread_annotations.hpp"
 #include "matrix/csr.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/fingerprint.hpp"
@@ -181,14 +180,14 @@ struct ServeState {
   /// Set before the handle is returned; immutable afterwards.
   AdmissionDecision decision;
 
-  std::mutex m;
-  std::condition_variable cv;
-  bool done = false;
-  ServeResult<T> result;
+  acs::Mutex serve_m;
+  acs::CondVar cv;
+  bool done ACS_GUARDED_BY(serve_m) = false;
+  ServeResult<T> result ACS_GUARDED_BY(serve_m);
 
-  void resolve(ServeResult<T> r) {
+  void resolve(ServeResult<T> r) ACS_EXCLUDES(serve_m) {
     {
-      std::lock_guard<std::mutex> lock(m);
+      acs::MutexLock lock(serve_m);
       if (done) return;
       result = std::move(r);
       done = true;
@@ -219,13 +218,13 @@ class ServeHandle {
   }
 
   [[nodiscard]] bool ready() const {
-    std::lock_guard<std::mutex> lock(state_->m);
+    acs::MutexLock lock(state_->serve_m);
     return state_->done;
   }
 
   void wait() const {
-    std::unique_lock<std::mutex> lock(state_->m);
-    state_->cv.wait(lock, [&] { return state_->done; });
+    acs::MutexLock lock(state_->serve_m);
+    while (!state_->done) state_->cv.wait(lock);
   }
 
   /// Block until the submission resolves. Never throws: engine failures
@@ -233,6 +232,10 @@ class ServeHandle {
   /// stays valid as long as any handle to the submission exists.
   [[nodiscard]] ServeResult<T>& result() const {
     wait();
+    // Relock for the guarded read; once `done` is set the result is
+    // immutable (resolve() is first-writer-wins), so the returned
+    // reference stays safe to use unlocked.
+    acs::MutexLock lock(state_->serve_m);
     return state_->result;
   }
 
@@ -297,15 +300,16 @@ class Server {
   /// value — move them in to avoid the copy. Submissions must be made in
   /// arrival order; concurrent callers are serialized, with the
   /// interleaving then defining the trace.
-  ServeHandle<T> submit(Csr<T> a, Csr<T> b, SubmitInfo info, Config cfg = {});
+  ServeHandle<T> submit(Csr<T> a, Csr<T> b, SubmitInfo info, Config cfg = {})
+      ACS_EXCLUDES(m_);
 
   /// Flush the virtual timeline (dispatching everything still queued) and
   /// block until every admitted job has resolved.
-  void drain();
+  void drain() ACS_EXCLUDES(m_);
 
-  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] ServeStats stats() const ACS_EXCLUDES(m_);
   /// Engine metrics plus the serve counter block and per-tenant rows.
-  [[nodiscard]] trace::MetricsSnapshot metrics() const;
+  [[nodiscard]] trace::MetricsSnapshot metrics() const ACS_EXCLUDES(m_);
   [[nodiscard]] runtime::Engine<T>& engine() { return *engine_; }
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
 
@@ -361,57 +365,63 @@ class Server {
     Config base;
   };
 
-  std::size_t ensure_tenant_locked(const std::string& name);
+  std::size_t ensure_tenant_locked(const std::string& name) ACS_REQUIRES(m_);
   /// Advance the virtual dispatch timeline to `until_s` (inclusive):
   /// modeled executors pick DRR winners, the arena ceiling gates/sheds,
   /// misses are counted, dispatched jobs move to the ready list.
-  void advance_virtual_locked(double until_s);
+  void advance_virtual_locked(double until_s) ACS_REQUIRES(m_);
   /// Shed queued jobs beyond `shed_queue_jobs` (memory-gated path only).
-  void shed_over_cap_locked();
-  void resolve_shed_locked(JobRec rec);
+  void shed_over_cap_locked() ACS_REQUIRES(m_);
+  void resolve_shed_locked(JobRec rec) ACS_REQUIRES(m_);
   /// Hand ready jobs to the engine, bounded by workers + dispatch_slack
   /// and by the arena ceiling over real in-flight predicted pool bytes.
-  void pump_locked();
+  void pump_locked() ACS_REQUIRES(m_);
   /// Tuned overlay for `fp`, computing synchronously if the tuner thread
   /// has not gotten to it yet (same deterministic result either way).
   TunedParams ensure_tuned_locked(const runtime::Fingerprint& fp,
-                                  const Config& base);
+                                  const Config& base) ACS_REQUIRES(m_);
   /// Cold overlay for a degraded dispatch of `fp` (predictor-only budgeted
   /// ranking; computed once per fingerprint, deterministic).
   TunedParams ensure_cold_tuned_locked(const runtime::Fingerprint& fp,
-                                       const Config& base);
-  void tune_loop();
-  ServeResult<T> make_result_locked(const JobRec& rec, ServeStatus status);
+                                       const Config& base) ACS_REQUIRES(m_);
+  void tune_loop() ACS_EXCLUDES(tune_m_, m_);
+  ServeResult<T> make_result_locked(const JobRec& rec, ServeStatus status)
+      ACS_REQUIRES(m_);
 
   ServerConfig cfg_;
   std::size_t max_outstanding_ = 1;
 
-  mutable std::mutex m_;
-  std::condition_variable drain_cv_;
-  AdmissionModel admission_;
-  DrrScheduler drr_;
-  std::unordered_map<std::string, std::size_t> tenant_index_;
-  std::vector<TenantRuntime> tenants_;
-  std::unordered_map<std::uint64_t, JobRec> queued_jobs_;  ///< in DRR
-  std::deque<JobRec> ready_;  ///< virtually dispatched, awaiting the engine
+  mutable acs::Mutex m_;
+  acs::CondVar drain_cv_;
+  AdmissionModel admission_ ACS_GUARDED_BY(m_);
+  DrrScheduler drr_ ACS_GUARDED_BY(m_);
+  std::unordered_map<std::string, std::size_t> tenant_index_
+      ACS_GUARDED_BY(m_);
+  std::vector<TenantRuntime> tenants_ ACS_GUARDED_BY(m_);
+  std::unordered_map<std::uint64_t, JobRec> queued_jobs_
+      ACS_GUARDED_BY(m_);  ///< in DRR
+  /// Virtually dispatched, awaiting the engine.
+  std::deque<JobRec> ready_ ACS_GUARDED_BY(m_);
   /// Virtual dispatch executors: free time + pool bytes of current job.
-  std::vector<double> vfree_;
-  std::vector<std::size_t> vbytes_;
+  std::vector<double> vfree_ ACS_GUARDED_BY(m_);
+  std::vector<std::size_t> vbytes_ ACS_GUARDED_BY(m_);
   std::unordered_map<runtime::Fingerprint, PredictionEntry,
                      runtime::FingerprintHash>
-      predictions_;
-  std::uint64_t next_id_ = 0;
-  double last_arrival_s_ = 0.0;
-  std::size_t outstanding_ = 0;  ///< jobs inside the engine
-  std::size_t outstanding_pool_bytes_ = 0;
-  std::size_t unresolved_ = 0;   ///< admitted jobs not yet resolved
-  std::uint64_t cold_tunes_ = 0; ///< budgeted cold overlays computed
-  ServeStats totals_;
+      predictions_ ACS_GUARDED_BY(m_);
+  std::uint64_t next_id_ ACS_GUARDED_BY(m_) = 0;
+  double last_arrival_s_ ACS_GUARDED_BY(m_) = 0.0;
+  std::size_t outstanding_ ACS_GUARDED_BY(m_) = 0;  ///< jobs in the engine
+  std::size_t outstanding_pool_bytes_ ACS_GUARDED_BY(m_) = 0;
+  /// Admitted jobs not yet resolved.
+  std::size_t unresolved_ ACS_GUARDED_BY(m_) = 0;
+  /// Budgeted cold overlays computed.
+  std::uint64_t cold_tunes_ ACS_GUARDED_BY(m_) = 0;
+  ServeStats totals_ ACS_GUARDED_BY(m_);
 
-  std::mutex tune_m_;
-  std::condition_variable tune_cv_;
-  std::deque<TuneTask> tune_queue_;
-  bool tune_stop_ = false;
+  acs::Mutex tune_m_;
+  acs::CondVar tune_cv_;
+  std::deque<TuneTask> tune_queue_ ACS_GUARDED_BY(tune_m_);
+  bool tune_stop_ ACS_GUARDED_BY(tune_m_) = false;
   std::thread tuner_thread_;
 
   /// Constructed last (after every member its completion callbacks touch),

@@ -2,13 +2,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "trace/trace.hpp"
 
 namespace acs::sim {
@@ -18,16 +17,16 @@ namespace acs::sim {
 /// (the GPU's global block dispatcher) and signal completion when the last
 /// one runs out of blocks.
 struct BlockScheduler::Pool {
-  std::mutex m;
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
-  std::uint64_t generation = 0;
-  std::size_t num_blocks = 0;
-  const std::function<void(std::size_t)>* body = nullptr;
+  acs::Mutex pool_m;
+  acs::CondVar work_cv;
+  acs::CondVar done_cv;
+  std::uint64_t generation ACS_GUARDED_BY(pool_m) = 0;
+  std::size_t num_blocks ACS_GUARDED_BY(pool_m) = 0;
+  const std::function<void(std::size_t)>* body ACS_GUARDED_BY(pool_m) = nullptr;
   std::atomic<std::size_t> next{0};
-  std::size_t running = 0;
-  std::exception_ptr error;
-  bool stop = false;
+  std::size_t running ACS_GUARDED_BY(pool_m) = 0;
+  std::exception_ptr error ACS_GUARDED_BY(pool_m);
+  bool stop ACS_GUARDED_BY(pool_m) = false;
   std::vector<std::thread> workers;
 
   explicit Pool(unsigned n) {
@@ -38,39 +37,43 @@ struct BlockScheduler::Pool {
 
   ~Pool() {
     {
-      std::lock_guard<std::mutex> lock(m);
+      acs::MutexLock lock(pool_m);
       stop = true;
     }
     work_cv.notify_all();
     for (auto& t : workers) t.join();
   }
 
-  void work_loop() {
+  void work_loop() ACS_EXCLUDES(pool_m) {
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(std::size_t)>* job;
+      std::size_t blocks;
       {
-        std::unique_lock<std::mutex> lock(m);
-        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        acs::MutexLock lock(pool_m);
+        while (!stop && generation == seen) work_cv.wait(lock);
         if (stop) return;
         seen = generation;
         job = body;
+        // Copy the dispatch size out: the ticket loop below runs unlocked,
+        // and `num_blocks` stays owned by pool_m until the next generation.
+        blocks = num_blocks;
       }
       for (;;) {
         // mo: work-stealing ticket; block inputs/outputs are published by
         // mo: the generation handshake under the pool mutex, not by this.
         const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
-        if (b >= num_blocks) break;
+        if (b >= blocks) break;
         try {
           (*job)(b);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(m);
+          acs::MutexLock lock(pool_m);
           if (!error) error = std::current_exception();
           break;
         }
       }
       {
-        std::lock_guard<std::mutex> lock(m);
+        acs::MutexLock lock(pool_m);
         if (--running == 0) done_cv.notify_one();
       }
     }
@@ -124,20 +127,22 @@ void BlockScheduler::for_each_block(
                    [&](std::size_t b) { run_block(body, b); })
              : std::function<void(std::size_t)>();
 
-  std::unique_lock<std::mutex> lock(p.m);
-  p.num_blocks = num_blocks;
-  p.body = trace_ ? &timed : &body;
-  // mo: reset is published to workers by the generation bump + cv under
-  // mo: the mutex held here; the counter itself needs no ordering.
-  p.next.store(0, std::memory_order_relaxed);
-  p.running = p.workers.size();
-  p.error = nullptr;
-  ++p.generation;
-  p.work_cv.notify_all();
-  p.done_cv.wait(lock, [&] { return p.running == 0; });
-  const std::exception_ptr err = p.error;
-  p.body = nullptr;
-  lock.unlock();
+  std::exception_ptr err;
+  {
+    acs::MutexLock lock(p.pool_m);
+    p.num_blocks = num_blocks;
+    p.body = trace_ ? &timed : &body;
+    // mo: reset is published to workers by the generation bump + cv under
+    // mo: the mutex held here; the counter itself needs no ordering.
+    p.next.store(0, std::memory_order_relaxed);
+    p.running = p.workers.size();
+    p.error = nullptr;
+    ++p.generation;
+    p.work_cv.notify_all();
+    while (p.running != 0) p.done_cv.wait(lock);
+    err = p.error;
+    p.body = nullptr;
+  }
   if (err) std::rethrow_exception(err);
 }
 

@@ -76,7 +76,7 @@ CountersSnapshot Counters::snapshot() const {
 
 SpanId TraceSession::begin_span(std::string_view name) {
   const double t = now_s();
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   auto [it, inserted] = threads_.try_emplace(std::this_thread::get_id());
   if (inserted) it->second.slot = static_cast<std::uint32_t>(threads_.size() - 1);
   ThreadState& ts = it->second;
@@ -95,7 +95,7 @@ SpanId TraceSession::begin_span(std::string_view name) {
 
 void TraceSession::end_span(SpanId id, double sim_time_s) {
   const double t = now_s();
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   if (id >= spans_.size()) return;
   SpanRecord& rec = spans_[id];
   rec.end_s = t;
@@ -116,17 +116,17 @@ void TraceSession::end_span(SpanId id, double sim_time_s) {
 }
 
 void TraceSession::add_sim_time(SpanId id, double sim_time_s) {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   if (id < spans_.size()) spans_[id].sim_time_s += sim_time_s;
 }
 
 std::vector<SpanRecord> TraceSession::spans() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   return spans_;
 }
 
 std::size_t TraceSession::span_count() const {
-  std::lock_guard<std::mutex> lock(m_);
+  acs::MutexLock lock(m_);
   return spans_.size();
 }
 

@@ -27,12 +27,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace acs::trace {
 
@@ -169,13 +170,13 @@ class TraceSession {
 
   /// Open a span on the calling thread; its parent is the thread's innermost
   /// open span. Returns the id to pass to `end_span`.
-  SpanId begin_span(std::string_view name);
+  SpanId begin_span(std::string_view name) ACS_EXCLUDES(m_);
 
   /// Close span `id`, attributing `sim_time_s` of simulated time to it.
-  void end_span(SpanId id, double sim_time_s = 0.0);
+  void end_span(SpanId id, double sim_time_s = 0.0) ACS_EXCLUDES(m_);
 
   /// Attribute additional simulated time to an open or closed span.
-  void add_sim_time(SpanId id, double sim_time_s);
+  void add_sim_time(SpanId id, double sim_time_s) ACS_EXCLUDES(m_);
 
   /// Detail mode: producers additionally record fine-grained block-level
   /// spans (per ESC iteration, per merge window). Off by default — stage
@@ -194,8 +195,8 @@ class TraceSession {
   }
 
   /// Copy of all spans recorded so far (closed or still open).
-  [[nodiscard]] std::vector<SpanRecord> spans() const;
-  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::vector<SpanRecord> spans() const ACS_EXCLUDES(m_);
+  [[nodiscard]] std::size_t span_count() const ACS_EXCLUDES(m_);
   /// Seconds since the session was created.
   [[nodiscard]] double elapsed_s() const;
 
@@ -213,10 +214,10 @@ class TraceSession {
 
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> detail_{false};
-  Counters counters_;
-  mutable std::mutex m_;
-  std::vector<SpanRecord> spans_;
-  std::unordered_map<std::thread::id, ThreadState> threads_;
+  Counters counters_;  ///< lock-free: relaxed atomics, no mutex needed
+  mutable acs::Mutex m_;
+  std::vector<SpanRecord> spans_ ACS_GUARDED_BY(m_);
+  std::unordered_map<std::thread::id, ThreadState> threads_ ACS_GUARDED_BY(m_);
 };
 
 /// RAII span: opens on construction (no-op for a null session), closes on

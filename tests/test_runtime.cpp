@@ -712,5 +712,26 @@ TEST(Engine, BackgroundRetuneWithoutPlanCacheFallsBackInline) {
   EXPECT_TRUE(r1.c.equals_exact(multiply(a, a)));
 }
 
+/// Regression: idle workers nudge the background tuner, and they used to
+/// probe bg_thread_.joinable() to decide whether one exists — racing the
+/// destructor's join() the moment the queue drained. The probe now reads
+/// bg_enabled_ (const after construction). Rapid construct/submit/destroy
+/// cycles with re-tuning on must shut down cleanly (TSan covers the race).
+TEST(Engine, RapidShutdownWithBackgroundRetuneIsRaceFree) {
+  auto a = gen_powerlaw<float>(200, 200, 6.0, 1.4, 80, 51);
+  quantize(a);
+  for (int round = 0; round < 8; ++round) {
+    EngineConfig ec;
+    ec.workers = 2;
+    ec.tuning = tune::TuningMode::kFeedback;
+    ec.background_retune = true;
+    Engine<float> engine(ec);
+    auto h1 = engine.submit(a, a);
+    auto h2 = engine.submit(a, a);
+    EXPECT_FALSE(h1.result().failed());
+    (void)h2;  // abandoned: the destructor must drain and join regardless
+  }
+}
+
 }  // namespace
 }  // namespace acs::runtime

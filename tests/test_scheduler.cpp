@@ -54,6 +54,21 @@ TEST(Scheduler, PerBlockSlotsGiveDeterministicResults) {
   EXPECT_EQ(run(1), run(8));
 }
 
+/// Regression: workers used to read `num_blocks` unlocked inside the
+/// ticket loop, racing the next dispatch's setup under the pool mutex.
+/// Alternating dispatch sizes through one persistent pool must run every
+/// block of every generation exactly once (TSan covers the load/store).
+TEST(Scheduler, AlternatingDispatchSizesReuseThePoolSafely) {
+  BlockScheduler sched(4);
+  const std::size_t sizes[] = {1000, 7, 513, 1, 64, 999};
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = sizes[round % 6];
+    std::vector<std::atomic<int>> hits(n);
+    sched.for_each_block(n, [&](std::size_t b) { hits[b]++; });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1) << "round " << round;
+  }
+}
+
 TEST(Scheduler, ZeroThreadsPicksHardwareConcurrency) {
   BlockScheduler sched(0);
   EXPECT_GE(sched.threads(), 1u);

@@ -24,6 +24,12 @@
    listed in docs/BACKENDS.md — both the tag type and its `kName`
    spelling — so a new backend cannot ship without its row in the
    porting guide.
+6. Mutex-table completeness: every mutex registered in
+   tools/lint/lock_order.toml (which the `lock-order` lint rule holds in
+   sync with the annotated tree) must appear, with its rank, in the
+   DESIGN.md §14 concurrency-contracts table — and every table row must
+   name a registered mutex — so a new mutex cannot ship undocumented and
+   the documented ranks cannot drift from the enforced ones.
 
 Exit code 0 = docs in sync; 1 = drift, with one line per finding.
 """
@@ -256,16 +262,67 @@ def check_backends() -> list[str]:
     return errors
 
 
+MUTEX_ROW_RE = re.compile(r"^\|\s*`([\w:]+::\w+)`\s*\|\s*(\d+)\s*\|")
+TOML_RANK_RE = re.compile(r'^"([\w:]+)"\s*=\s*(\d+)\s*$')
+
+
+def check_mutex_table() -> list[str]:
+    """DESIGN.md §14 mutex table <-> tools/lint/lock_order.toml ranks."""
+    design = REPO / "DESIGN.md"
+    toml_path = REPO / "tools/lint/lock_order.toml"
+    if not toml_path.exists():
+        return ["tools/lint/lock_order.toml: lock-order registry missing"]
+    ranks: dict[str, int] = {}
+    in_ranks = False
+    for line in toml_path.read_text().splitlines():
+        stripped = line.strip()
+        if stripped.startswith("["):
+            in_ranks = stripped == "[ranks]"
+            continue
+        m = TOML_RANK_RE.match(stripped)
+        if in_ranks and m:
+            ranks[m.group(1)] = int(m.group(2))
+    if not ranks:
+        return ["tools/lint/lock_order.toml: no entries under [ranks]"]
+    text = design.read_text()
+    section = re.split(r"^## 14\..*$", text, maxsplit=1, flags=re.M)
+    if len(section) < 2:
+        return ["DESIGN.md: §14 (concurrency contracts) is missing"]
+    rows: dict[str, int] = {}
+    errors = []
+    for line in section[1].splitlines():
+        m = MUTEX_ROW_RE.match(line.strip())
+        if m:
+            rows[m.group(1)] = int(m.group(2))
+    for mutex, rank in sorted(ranks.items()):
+        if mutex not in rows:
+            errors.append(
+                f"DESIGN.md §14: mutex `{mutex}` is registered in "
+                f"lock_order.toml but has no row in the mutex table")
+        elif rows[mutex] != rank:
+            errors.append(
+                f"DESIGN.md §14: `{mutex}` documented with rank "
+                f"{rows[mutex]} but lock_order.toml enforces {rank}")
+    for mutex in sorted(rows):
+        if mutex not in ranks:
+            errors.append(
+                f"DESIGN.md §14: table row `{mutex}` names a mutex that is "
+                f"not registered in lock_order.toml")
+    return errors
+
+
 def main() -> int:
     errors = (check_links() + check_drift() + check_changes()
-              + check_architecture_dirs() + check_backends())
+              + check_architecture_dirs() + check_backends()
+              + check_mutex_table())
     for e in errors:
         print(e, file=sys.stderr)
     if errors:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         return 1
     print("check_docs: links, Config/EngineConfig docs, CHANGES.md, the "
-          "architecture map and the backend table are in sync")
+          "architecture map, the backend table and the mutex table are in "
+          "sync")
     return 0
 
 

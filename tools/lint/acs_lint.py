@@ -17,6 +17,19 @@ Checks the domain rules that generic tooling cannot know (DESIGN.md §10):
   banned-calls      library code (src/ outside src/suite/) never calls
                     rand/srand/time or the printf family — determinism and
                     the trace layer are the only sanctioned side channels.
+  mutex-annotated   every mutex member is an acs::Mutex (never a raw
+                    std::mutex) and guards at least one ACS_GUARDED_BY
+                    member, or carries a `lint: allow` justification.
+  raii-locks-only   no naked `.lock()`/`.unlock()`/`.try_lock()` calls —
+                    lock lifetime is scoped by acs::MutexLock — and
+                    std::condition_variable::wait always takes a predicate
+                    (acs::CondVar sites spell the while-loop explicitly).
+  lock-order        whole-project static deadlock check: builds the
+                    acquires-while-holding graph from acs::MutexLock sites,
+                    ACS_REQUIRES annotations and the method call graph, and
+                    requires every edge to strictly increase the ranks
+                    registered in tools/lint/lock_order.toml (cycles,
+                    inversions, unranked and stale mutexes all fail).
   self-sufficient   every public header compiles standalone (its includes
                     are complete), checked with `$CXX -fsyntax-only`.
 
@@ -364,6 +377,608 @@ def rule_banned_calls(path: Path, code: str, comments: dict[int, str],
 
 
 # ---------------------------------------------------------------------------
+# Shared helpers for the concurrency rules
+# ---------------------------------------------------------------------------
+
+WRAPPER_HEADER = "core/thread_annotations.hpp"
+
+
+def exempt_concurrency_path(path: Path) -> bool:
+    """Tests, benches and tooling may use raw primitives; the annotation
+    wrapper itself necessarily does. Fixtures are never exempt."""
+    parts = set(path.parts)
+    exempt_dirs = {"suite", "bench", "tools", "tests", "examples"}
+    if "fixtures" not in parts and exempt_dirs & parts:
+        return True
+    return path.as_posix().endswith(WRAPPER_HEADER)
+
+
+def balanced_args(code: str, open_pos: int) -> tuple[list[str] | None, int]:
+    """Split the argument list whose opening bracket sits at `open_pos` into
+    top-level arguments. Returns (args, close_pos); args is None when the
+    bracket never closes."""
+    depth = 0
+    args: list[str] = []
+    cur: list[str] = []
+    for i in range(open_pos, len(code)):
+        ch = code[i]
+        if ch in "([{":
+            depth += 1
+            if depth == 1:
+                continue
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                text = "".join(cur).strip()
+                if text:
+                    args.append(text)
+                return args, i
+        elif ch == "," and depth == 1:
+            args.append("".join(cur).strip())
+            cur = []
+            continue
+        if depth >= 1:
+            cur.append(ch)
+    return None, len(code)
+
+
+# ---------------------------------------------------------------------------
+# Rule: mutex-annotated
+# ---------------------------------------------------------------------------
+
+MUTEX_DECL_RE = re.compile(
+    r"(?:\bmutable\s+)?\b(?P<kind>acs\s*::\s*Mutex|std\s*::\s*mutex)\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*;")
+
+
+def rule_mutex_annotated(path: Path, code: str, comments: dict[int, str],
+                         raw_lines: list[str]) -> list[Finding]:
+    del raw_lines
+    if exempt_concurrency_path(path):
+        return []
+    findings = []
+    for m in MUTEX_DECL_RE.finditer(code):
+        lineno = line_of(code, m.start())
+        if suppressed("mutex-annotated", lineno, comments):
+            continue
+        name = m.group("name")
+        if m.group("kind").lstrip().startswith("std"):
+            findings.append(Finding(
+                path, lineno, "mutex-annotated",
+                f"raw `std::mutex {name}`: declare acs::Mutex "
+                "(core/thread_annotations.hpp) so -Wthread-safety sees the "
+                "capability"))
+            continue
+        guarded = re.search(
+            r"ACS_(?:PT_)?GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)", code)
+        if not guarded:
+            findings.append(Finding(
+                path, lineno, "mutex-annotated",
+                f"mutex `{name}` guards nothing: annotate at least one "
+                f"member with ACS_GUARDED_BY({name}) or justify with "
+                "`// lint: allow(mutex-annotated)`"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: raii-locks-only
+# ---------------------------------------------------------------------------
+
+NAKED_LOCK_RE = re.compile(r"(?:\.|->)\s*(?P<fn>unlock|try_lock|lock)\s*\(\s*\)")
+STD_CV_DECL_RE = re.compile(
+    r"\bstd\s*::\s*condition_variable(?:_any)?\s+(?P<name>[A-Za-z_]\w*)\s*;")
+
+
+def rule_raii_locks_only(path: Path, code: str, comments: dict[int, str],
+                         raw_lines: list[str]) -> list[Finding]:
+    del raw_lines
+    if exempt_concurrency_path(path):
+        return []
+    findings = []
+    for m in NAKED_LOCK_RE.finditer(code):
+        lineno = line_of(code, m.start())
+        if suppressed("raii-locks-only", lineno, comments):
+            continue
+        findings.append(Finding(
+            path, lineno, "raii-locks-only",
+            f"naked `.{m.group('fn')}()`: lock lifetime must be scoped by "
+            "acs::MutexLock so the capability is released on every path"))
+    cv_names = {m.group("name") for m in STD_CV_DECL_RE.finditer(code)}
+    for name in sorted(cv_names):
+        for m in re.finditer(r"\b" + re.escape(name) + r"\s*\.\s*wait\s*\(",
+                             code):
+            args, _close = balanced_args(code, m.end() - 1)
+            if args is None or len(args) != 1:
+                continue
+            lineno = line_of(code, m.start())
+            if suppressed("raii-locks-only", lineno, comments):
+                continue
+            findings.append(Finding(
+                path, lineno, "raii-locks-only",
+                f"`{name}.wait(lock)` without a predicate: spurious wakeups "
+                "make the single-argument overload a bug — pass the "
+                "predicate (or use acs::CondVar with an explicit while "
+                "loop)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: lock-order (whole-project)
+# ---------------------------------------------------------------------------
+
+try:  # pragma: no cover - py3.11+ everywhere we run
+    import tomllib
+except ImportError:  # pragma: no cover
+    tomllib = None  # type: ignore
+
+CLASS_RE = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*(?:\s*::\s*\w+)*)")
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "do", "else",
+    "sizeof", "new", "delete", "throw", "alignof", "decltype",
+    "static_assert", "constexpr", "assert",
+}
+ACQ_RE = re.compile(
+    r"\b(?:acs\s*::\s*MutexLock|std\s*::\s*(?:lock_guard|unique_lock|"
+    r"scoped_lock)\s*(?:<[^<>]*>)?)\s+[A-Za-z_]\w*\s*[({]")
+CALL_RE = re.compile(
+    r"(?:(?P<recv>[A-Za-z_]\w*)\s*(?:\.|->)\s*)?(?P<name>~?[A-Za-z_]\w*)\s*\(")
+CV_RECV_RE = re.compile(r"cv|cond", re.I)
+DECL_REQUIRES_RE = re.compile(
+    r"\b(~?[A-Za-z_]\w*)\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)"
+    r"\s*(?:const\s*)?ACS_REQUIRES\(([^()]*)\)\s*;")
+LAMBDA_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\)\s*)?(?:mutable\s*)?(?:noexcept\s*)?"
+    r"(?:->\s*[\w:&<>,\s*]+?)?\s*\{")
+QUAL_RE = re.compile(r"\b(const|noexcept|override|final|mutable|try)\s*$")
+
+
+def _brace_pairs(code: str) -> list[tuple[int, int]]:
+    pairs = []
+    stack: list[int] = []
+    for i, ch in enumerate(code):
+        if ch == "{":
+            stack.append(i)
+        elif ch == "}" and stack:
+            pairs.append((stack.pop(), i))
+    return pairs
+
+
+def _class_ranges(code: str) -> list[tuple[str, int, int]]:
+    """[(name, body_open, body_close)] for every class/struct definition."""
+    pairs = dict(_brace_pairs(code))
+    out = []
+    n = len(code)
+    for m in CLASS_RE.finditer(code):
+        if code[:m.start()].rstrip().endswith("enum"):
+            continue
+        k = m.end()
+        while k < n and code[k].isspace():
+            k += 1
+        if k < n and code[k] in ">,=":
+            continue  # `class T` inside a template parameter list
+        j, depth, open_i = m.end(), 0, None
+        while j < n:
+            ch = code[j]
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth = max(0, depth - 1)
+            elif depth == 0:
+                if ch in ";()}":
+                    break
+                if ch == "{":
+                    open_i = j
+                    break
+            j += 1
+        if open_i is not None and open_i in pairs:
+            name = re.sub(r"\s", "", m.group(2)).split("::")[-1]
+            out.append((name, open_i, pairs[open_i]))
+    return out
+
+
+def _innermost(ranges: list[tuple[str, int, int]], pos: int) -> str | None:
+    best = None
+    for name, o, c in ranges:
+        if o < pos < c and (best is None or c - o < best[2] - best[1]):
+            best = (name, o, c)
+    return best[0] if best else None
+
+
+def _match_paren_back(s: str) -> int | None:
+    depth = 0
+    for j in range(len(s) - 1, -1, -1):
+        if s[j] == ")":
+            depth += 1
+        elif s[j] == "(":
+            depth -= 1
+            if depth == 0:
+                return j
+    return None
+
+
+def _function_head(code: str, open_i: int):
+    """If the `{` at open_i opens a function body, return (cls_or_None,
+    name, requires_args). Control blocks, lambdas, classes, initializers
+    and namespaces return None."""
+    s = code[:open_i].rstrip()
+    requires: list[str] = []
+    while True:
+        if not s or s.endswith("]"):
+            return None
+        qm = QUAL_RE.search(s)
+        if qm:
+            s = s[:qm.start()].rstrip()
+            continue
+        if not s.endswith(")"):
+            return None
+        j = _match_paren_back(s)
+        if j is None or j == 0:
+            return None
+        head = s[:j].rstrip()
+        am = re.search(r"ACS_[A-Z_]*$", head)
+        if am:
+            if "REQUIRES" in am.group(0):
+                requires += [a.strip() for a in s[j + 1:-1].split(",")
+                             if a.strip()]
+            s = head[:am.start()].rstrip()
+            continue
+        nm = re.search(r"(?:\b([A-Za-z_]\w*)\s*(?:<[^<>]*>)?\s*::\s*)?"
+                       r"(~?[A-Za-z_]\w*)$", head)
+        if nm is None:
+            return None
+        name = nm.group(2)
+        if name in CONTROL_KEYWORDS:
+            return None
+        prefix = head[:nm.start()].rstrip()
+        if prefix.endswith((",", ":")) and not prefix.endswith("::"):
+            s = prefix[:-1].rstrip()  # constructor initializer-list element
+            continue
+        return nm.group(1), name, requires
+
+
+def _find_functions(code: str):
+    """[(cls_hint, name, requires_args, body_open, body_close)]; inner
+    blocks of an already-claimed body are skipped (lambdas are split out
+    later by _units)."""
+    out = []
+    claimed: list[tuple[int, int]] = []
+    for o, c in sorted(_brace_pairs(code)):
+        if any(a < o < b for a, b in claimed):
+            continue
+        head = _function_head(code, o)
+        if head is None:
+            continue
+        claimed.append((o, c))
+        out.append((head[0], head[1], head[2], o, c))
+    return out
+
+
+def _lambda_spans(segment: str) -> list[tuple[int, int]]:
+    """Top-level lambda body brace ranges within `segment`."""
+    spans = []
+    i = 0
+    while True:
+        m = LAMBDA_RE.search(segment, i)
+        if m is None:
+            return spans
+        open_i = m.end() - 1
+        depth, close_i = 0, None
+        for k in range(open_i, len(segment)):
+            if segment[k] == "{":
+                depth += 1
+            elif segment[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    close_i = k
+                    break
+        if close_i is None:
+            return spans
+        spans.append((open_i, close_i))
+        i = close_i + 1
+
+
+def _units(code: str, open_i: int, close_i: int) -> list[tuple[int, str, bool]]:
+    """Flatten a function body into analysis units (abs_start, text,
+    is_lambda). Lambda bodies become separate units — deferred execution
+    means they neither inherit the enclosing held-set nor contribute to the
+    enclosing function's acquire-set (mirrors the Clang TSA model)."""
+    seg = code[open_i + 1:close_i]
+    spans = _lambda_spans(seg)
+    blanked = list(seg)
+    inner: list[tuple[int, str, bool]] = []
+    for o, c in spans:
+        for sub_start, sub_text, _ in _units(code, open_i + 1 + o,
+                                             open_i + 1 + c):
+            inner.append((sub_start, sub_text, True))
+        for k in range(o, c + 1):
+            if blanked[k] != "\n":
+                blanked[k] = " "
+    return [(open_i + 1, "".join(blanked), False)] + inner
+
+
+def _resolve_mutex(expr: str, cls: str | None,
+                   mutex_classes: dict[str, set[str]],
+                   receivers: dict[str, str]) -> str | None:
+    expr = re.sub(r"^this\s*->\s*", "", expr.strip())
+    if re.fullmatch(r"[A-Za-z_]\w*", expr):
+        if cls and expr in mutex_classes.get(cls, set()):
+            return f"{cls}::{expr}"
+        return None
+    pm = re.match(r"^.*?([A-Za-z_]\w*)\s*(?:\.|->)\s*([A-Za-z_]\w*)$", expr)
+    if pm:
+        recv, member = pm.group(1), pm.group(2)
+        owners = [c for c, ms in mutex_classes.items() if member in ms]
+        if len(owners) == 1:
+            return f"{owners[0]}::{member}"
+        rcls = receivers.get(recv)
+        if rcls and member in mutex_classes.get(rcls, set()):
+            return f"{rcls}::{member}"
+    return None
+
+
+def _resolve_call(cls: str | None, recv: str | None, name: str,
+                  registry: dict, receivers: dict[str, str]):
+    if recv is None:
+        if cls is not None and (cls, name) in registry:
+            return (cls, name)
+        return None
+    rcls = receivers.get(recv)
+    if rcls and (rcls, name) in registry:
+        return (rcls, name)
+    return None
+
+
+def _sccs(nodes, adj):
+    """Tarjan; deterministic via sorted iteration. Returns components."""
+    index: dict = {}
+    low: dict = {}
+    stack: list = []
+    on = set()
+    out = []
+    counter = [0]
+
+    def dfs(v):
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on.add(v)
+        for w in sorted(adj.get(v, ())):
+            if w not in index:
+                dfs(w)
+                low[v] = min(low[v], low[w])
+            elif w in on:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            comp = []
+            while True:
+                w = stack.pop()
+                on.discard(w)
+                comp.append(w)
+                if w == v:
+                    break
+            out.append(comp)
+
+    for v in sorted(nodes):
+        if v not in index:
+            dfs(v)
+    return out
+
+
+def rule_lock_order(parsed: list[tuple[Path, str, dict[int, str]]],
+                    config_path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    if tomllib is None:
+        print("acs-lint: note: tomllib unavailable; skipping lock-order",
+              file=sys.stderr)
+        return []
+    if not Path(config_path).exists():
+        return [Finding(Path(config_path), 1, "lock-order",
+                        "lock-order registry not found (expected a toml "
+                        "file with [ranks] and [receivers] tables)")]
+    with open(config_path, "rb") as fh:
+        cfg = tomllib.load(fh)
+    ranks = {str(k): int(v) for k, v in cfg.get("ranks", {}).items()}
+    receivers = {str(k): str(v) for k, v in cfg.get("receivers", {}).items()}
+
+    scanned = [(p, code, comments) for p, code, comments in parsed
+               if not exempt_concurrency_path(p)]
+    comments_of = {p: comments for p, _, comments in scanned}
+
+    # Pass 1: classes and their mutex members.
+    mutex_classes: dict[str, set[str]] = {}
+    mutex_sites: dict[str, tuple[Path, int]] = {}
+    class_names: set[str] = set()
+    file_ranges: dict[Path, list] = {}
+    for p, code, _comments in scanned:
+        ranges = _class_ranges(code)
+        file_ranges[p] = ranges
+        class_names |= {r[0] for r in ranges}
+        for m in MUTEX_DECL_RE.finditer(code):
+            cls = _innermost(ranges, m.start())
+            if cls is None:
+                continue
+            mutex_classes.setdefault(cls, set()).add(m.group("name"))
+            mutex_sites.setdefault(f"{cls}::{m.group('name')}",
+                                   (p, line_of(code, m.start())))
+
+    # Pass 2a: REQUIRES annotations attached to declarations (out-of-line
+    # definitions inherit them from the header).
+    decl_requires: dict[tuple, set] = {}
+    for p, code, _comments in scanned:
+        for m in DECL_REQUIRES_RE.finditer(code):
+            cls = _innermost(file_ranges[p], m.start())
+            if cls is None:
+                continue
+            req = set()
+            for a in m.group(3).split(","):
+                mx = _resolve_mutex(a, cls, mutex_classes, receivers)
+                if mx:
+                    req.add(mx)
+            decl_requires.setdefault((cls, m.group(1)), set()).update(req)
+
+    # Pass 2b: function bodies -> direct acquisitions, nesting edges, calls.
+    registry: dict[tuple, dict] = {}
+    edges: dict[tuple[str, str], tuple[Path, int]] = {}
+
+    def scan_unit(path, code, comments, text, abs_start, cls, entry_held,
+                  info):
+        events: list[tuple[int, str, object]] = []
+        for m in ACQ_RE.finditer(text):
+            args, _close = balanced_args(text, m.end() - 1)
+            if args:
+                events.append((m.start(), "acq", args))
+        for m in CALL_RE.finditer(text):
+            events.append((m.start(), "call",
+                           (m.group("recv"), m.group("name"))))
+        for i, ch in enumerate(text):
+            if ch in "{}":
+                events.append((i, ch, None))
+        events.sort(key=lambda e: e[0])
+        depth = 0
+        held: list[tuple[str, int]] = [(mx, -1) for mx in sorted(entry_held)]
+        for pos, kind, payload in events:
+            if kind == "{":
+                depth += 1
+            elif kind == "}":
+                depth -= 1
+                held = [(mx, d) for mx, d in held if d <= depth]
+            elif kind == "acq":
+                lineno = line_of(code, abs_start + pos)
+                for expr in payload:  # type: ignore[union-attr]
+                    if re.match(r"^std\s*::", expr):
+                        continue  # defer_lock / adopt_lock tags
+                    mx = _resolve_mutex(expr, cls, mutex_classes, receivers)
+                    if mx is None:
+                        if not suppressed("lock-order", lineno, comments):
+                            findings.append(Finding(
+                                path, lineno, "lock-order",
+                                f"cannot resolve lock argument `{expr}` to "
+                                "a known mutex (register the receiver in "
+                                "lock_order.toml [receivers])"))
+                        continue
+                    for hmx, _d in held:
+                        if hmx != mx:
+                            edges.setdefault((hmx, mx), (path, lineno))
+                    held.append((mx, depth))
+            else:
+                recv, name = payload  # type: ignore[misc]
+                if name in CONTROL_KEYWORDS:
+                    continue
+                if recv and CV_RECV_RE.search(recv):
+                    continue  # condvar wait/notify: no new capability
+                info["calls"].append(
+                    (tuple(sorted({h for h, _ in held})), recv, name, path,
+                     line_of(code, abs_start + pos)))
+        for m in ACQ_RE.finditer(text):
+            args, _close = balanced_args(text, m.end() - 1)
+            for expr in args or []:
+                mx = _resolve_mutex(expr, cls, mutex_classes, receivers)
+                if mx:
+                    info["acquires"].add(mx)
+
+    for p, code, comments in scanned:
+        ranges = file_ranges[p]
+        lam = 0
+        for cls_hint, fname, req_args, o, c in _find_functions(code):
+            cls = cls_hint or _innermost(ranges, o)
+            key = (cls, fname)
+            entry = set(decl_requires.get(key, set()))
+            for a in req_args:
+                mx = _resolve_mutex(a, cls, mutex_classes, receivers)
+                if mx:
+                    entry.add(mx)
+            for abs_start, text, is_lambda in _units(code, o, c):
+                if is_lambda:
+                    lam += 1
+                    ukey = (cls, f"{fname}<lambda#{lam}>")
+                    uentry: set[str] = set()
+                else:
+                    ukey, uentry = key, entry
+                info = registry.setdefault(
+                    ukey, {"cls": cls, "acquires": set(), "calls": []})
+                scan_unit(p, code, comments, text, abs_start, cls, uentry,
+                          info)
+
+    # Fixpoint: transitive acquire-sets through the resolvable call graph.
+    trans = {k: set(v["acquires"]) for k, v in registry.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, info in registry.items():
+            cur = trans[key]
+            for _held, recv, name, _p, _ln in info["calls"]:
+                callee = _resolve_call(info["cls"], recv, name, registry,
+                                       receivers)
+                if callee is not None and not trans[callee] <= cur:
+                    cur |= trans[callee]
+                    changed = True
+
+    # Call-site edges: everything a callee may acquire, acquired while the
+    # caller's held-set is live.
+    for key, info in registry.items():
+        for held, recv, name, p, ln in info["calls"]:
+            if not held:
+                continue
+            callee = _resolve_call(info["cls"], recv, name, registry,
+                                   receivers)
+            if callee is None:
+                continue
+            for mx in sorted(trans[callee]):
+                for hmx in held:
+                    if hmx != mx:
+                        edges.setdefault((hmx, mx), (p, ln))
+
+    # Registry drift both ways, then rank monotonicity, then cycles.
+    for full, (p, ln) in sorted(mutex_sites.items()):
+        if full not in ranks and not suppressed("lock-order", ln,
+                                                comments_of.get(p, {})):
+            findings.append(Finding(
+                p, ln, "lock-order",
+                f"mutex `{full}` has no rank in the "
+                f"{Path(config_path).name} ranks table"))
+    for entry_name in sorted(ranks):
+        if entry_name not in mutex_sites:
+            findings.append(Finding(
+                Path(config_path), 1, "lock-order",
+                f"stale rank entry `{entry_name}`: no such mutex in the "
+                "scanned tree"))
+    for recv, rcls in sorted(receivers.items()):
+        if rcls not in class_names:
+            findings.append(Finding(
+                Path(config_path), 1, "lock-order",
+                f"receiver `{recv}` maps to unknown class `{rcls}`"))
+    for (hmx, mx), (p, ln) in sorted(edges.items(),
+                                     key=lambda kv: (str(kv[1][0]), kv[1][1],
+                                                     kv[0])):
+        rh, rm = ranks.get(hmx), ranks.get(mx)
+        if rh is None or rm is None:
+            continue  # unranked is already reported above
+        if rh >= rm and not suppressed("lock-order", ln,
+                                       comments_of.get(p, {})):
+            findings.append(Finding(
+                p, ln, "lock-order",
+                f"acquires `{mx}` (rank {rm}) while holding `{hmx}` (rank "
+                f"{rh}): lock order must strictly increase "
+                f"({Path(config_path).name})"))
+    adj: dict[str, set[str]] = {}
+    nodes: set[str] = set()
+    for hmx, mx in edges:
+        adj.setdefault(hmx, set()).add(mx)
+        nodes |= {hmx, mx}
+    for comp in _sccs(nodes, adj):
+        if len(comp) < 2:
+            continue
+        comp_sorted = sorted(comp)
+        loc = min(v for e, v in edges.items()
+                  if e[0] in comp and e[1] in comp)
+        findings.append(Finding(
+            loc[0], loc[1], "lock-order",
+            "lock-order cycle: " + " -> ".join(comp_sorted +
+                                               [comp_sorted[0]])))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Rule: self-sufficient
 # ---------------------------------------------------------------------------
 
@@ -412,8 +1027,10 @@ TEXT_RULES = {
     "trace-span-paired": rule_trace_span,
     "typed-indices": rule_typed_indices,
     "banned-calls": rule_banned_calls,
+    "mutex-annotated": rule_mutex_annotated,
+    "raii-locks-only": rule_raii_locks_only,
 }
-ALL_RULES = list(TEXT_RULES) + ["self-sufficient"]
+ALL_RULES = list(TEXT_RULES) + ["lock-order", "self-sufficient"]
 
 
 def collect_files(paths: list[Path]) -> list[Path]:
@@ -444,6 +1061,9 @@ def main(argv: list[str]) -> int:
                     help="auto = libclang when importable, else lexer")
     ap.add_argument("--include-dir", action="append", type=Path, default=[],
                     help="extra -I directory for self-sufficient checks")
+    ap.add_argument("--lock-order-config", type=Path,
+                    default=REPO / "tools" / "lint" / "lock_order.toml",
+                    help="rank/receiver registry for the lock-order rule")
     ap.add_argument("--verbose", action="store_true")
     args = ap.parse_args(argv)
 
@@ -471,13 +1091,15 @@ def main(argv: list[str]) -> int:
     include_dirs = [REPO / "src"] + args.include_dir
 
     findings: list[Finding] = []
+    parsed: list[tuple[Path, str, dict[int, str]]] = []
     clang_index = clang.cindex.Index.create() if use_clang else None
     for f in files:
         text = f.read_text(encoding="utf-8", errors="replace")
         code, comments = lex(text)
         raw_lines = text.split("\n")
+        parsed.append((f, code, comments))
         for rule in rules:
-            if rule == "self-sufficient":
+            if rule in ("self-sufficient", "lock-order"):
                 continue
             if rule == "typed-indices" and clang_index is not None and \
                     f.suffix in (".hpp", ".h"):
@@ -486,6 +1108,8 @@ def main(argv: list[str]) -> int:
                     if not suppressed(rule, fd.line, comments)]
             else:
                 findings += TEXT_RULES[rule](f, code, comments, raw_lines)
+    if "lock-order" in rules:
+        findings += rule_lock_order(parsed, args.lock_order_config)
     if "self-sufficient" in rules:
         findings += rule_self_sufficient(headers, include_dirs, args.verbose)
 

@@ -1,0 +1,32 @@
+// Pass fixture for lock-order: Outer::outer_m ranks below Inner::inner_m
+// and every path (direct nesting, nesting through a call, nesting under an
+// ACS_REQUIRES context) acquires them in that order.
+#include "core/thread_annotations.hpp"
+
+struct Inner {
+  void poke() ACS_EXCLUDES(inner_m) {
+    acs::MutexLock lock(inner_m);
+    ++value;
+  }
+  acs::Mutex inner_m;
+  int value ACS_GUARDED_BY(inner_m) = 0;
+};
+
+struct Outer {
+  void touch() ACS_EXCLUDES(outer_m) {
+    acs::MutexLock lock(outer_m);
+    ++state;
+    inner_.poke();
+  }
+  void direct() ACS_EXCLUDES(outer_m) {
+    acs::MutexLock lock(outer_m);
+    acs::MutexLock nested(inner_.inner_m);
+    ++inner_.value;
+  }
+  void locked_path() ACS_REQUIRES(outer_m) {
+    inner_.poke();
+  }
+  Inner inner_;
+  acs::Mutex outer_m;
+  int state ACS_GUARDED_BY(outer_m) = 0;
+};

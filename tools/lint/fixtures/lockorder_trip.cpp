@@ -1,0 +1,24 @@
+// Trip fixture for lock-order: two methods acquire low_m/high_m in
+// opposite orders (one rank violation + one cycle), one mutex is missing
+// from the registry, and the registry names a mutex that does not exist
+// (4 findings).
+#include "core/thread_annotations.hpp"
+
+struct Pair {
+  void forward() ACS_EXCLUDES(low_m, high_m) {
+    acs::MutexLock first(low_m);
+    acs::MutexLock second(high_m);
+    a = b;
+  }
+  void backward() ACS_EXCLUDES(low_m, high_m) {
+    acs::MutexLock first(high_m);
+    acs::MutexLock second(low_m);  // finding: inversion (and the cycle)
+    b = a;
+  }
+  acs::Mutex low_m;
+  acs::Mutex high_m;
+  int a ACS_GUARDED_BY(low_m) = 0;
+  int b ACS_GUARDED_BY(high_m) = 0;
+  acs::Mutex stray_m;  // finding: not ranked in the registry
+  int c ACS_GUARDED_BY(stray_m) = 0;
+};

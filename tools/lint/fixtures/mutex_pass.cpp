@@ -1,0 +1,13 @@
+// Pass fixture for mutex-annotated: every mutex is an acs::Mutex and
+// either guards annotated state or carries a justification.
+#include "core/thread_annotations.hpp"
+
+class Guarded {
+ public:
+  void bump();
+
+ private:
+  mutable acs::Mutex m_;
+  int count_ ACS_GUARDED_BY(m_) = 0;
+  acs::Mutex phase_m_;  // lint: allow(mutex-annotated) — orders phases, guards no data
+};

@@ -1,0 +1,16 @@
+// Trip fixture for mutex-annotated: a raw std::mutex and two acs::Mutex
+// members that guard nothing (3 findings).
+#include <mutex>
+
+#include "core/thread_annotations.hpp"
+
+class Bare {
+  std::mutex raw_m_;       // finding: raw std::mutex
+  acs::Mutex floating_m_;  // finding: guards nothing
+  int value_ = 0;
+};
+
+struct Loose {
+  acs::Mutex m;  // finding: guards nothing
+  int x = 0;
+};

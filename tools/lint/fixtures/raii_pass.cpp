@@ -1,0 +1,26 @@
+// Pass fixture for raii-locks-only: scoped locks everywhere, and the one
+// std::condition_variable wait uses the predicate overload.
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.hpp"
+
+struct Worker {
+  acs::Mutex m;
+  acs::CondVar cv;
+  bool ready ACS_GUARDED_BY(m) = false;
+
+  void wait_ready() ACS_EXCLUDES(m) {
+    acs::MutexLock lock(m);
+    while (!ready) cv.wait(lock);
+  }
+};
+
+struct LegacyBridge {
+  std::condition_variable legacy_cv;
+  bool done = false;
+
+  void wait_done(std::unique_lock<std::mutex>& lk) {
+    legacy_cv.wait(lk, [&] { return done; });
+  }
+};

@@ -1,0 +1,20 @@
+// Trip fixture for raii-locks-only: naked lock/unlock and a predicate-less
+// condition_variable wait (3 findings).
+#include <condition_variable>
+#include <mutex>
+
+struct Naked {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+
+  void bad_lock() {
+    m.lock();  // finding: naked .lock()
+    done = true;
+    m.unlock();  // finding: naked .unlock()
+  }
+
+  void bad_wait(std::unique_lock<std::mutex>& lk) {
+    cv.wait(lk);  // finding: no predicate
+  }
+};

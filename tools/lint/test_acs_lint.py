@@ -76,6 +76,30 @@ class FixturePairs(unittest.TestCase):
     def test_self_sufficient_trip(self):
         self.check_trip("self-sufficient", "self_trip.hpp", 1)
 
+    def test_mutex_annotated_pass(self):
+        self.check_pass("mutex-annotated", "mutex_pass.cpp")
+
+    def test_mutex_annotated_trip(self):
+        self.check_trip("mutex-annotated", "mutex_trip.cpp", 3)
+
+    def test_raii_locks_only_pass(self):
+        self.check_pass("raii-locks-only", "raii_pass.cpp")
+
+    def test_raii_locks_only_trip(self):
+        self.check_trip("raii-locks-only", "raii_trip.cpp", 3)
+
+    def test_lock_order_pass(self):
+        self.check_pass("lock-order", "lockorder_pass.cpp",
+                        "--lock-order-config",
+                        str(FIXTURES / "lockorder_pass.toml"))
+
+    def test_lock_order_trip(self):
+        # One inversion, the cycle it closes, one unranked mutex, one stale
+        # registry entry.
+        self.check_trip("lock-order", "lockorder_trip.cpp", 4,
+                        "--lock-order-config",
+                        str(FIXTURES / "lockorder_trip.toml"))
+
 
 class CliContract(unittest.TestCase):
     def test_list_rules_names_at_least_five(self):
@@ -101,8 +125,31 @@ class RepoGate(unittest.TestCase):
     def test_src_clean_under_text_rules(self):
         code, out, err = run_lint(
             str(REPO / "src"), "--rules",
-            "mo-justify,trace-span-paired,typed-indices,banned-calls")
+            "mo-justify,trace-span-paired,typed-indices,banned-calls,"
+            "mutex-annotated,raii-locks-only")
         self.assertEqual(code, 0, f"src/ must lint clean:\n{out}{err}")
+
+    def test_src_lock_order_clean(self):
+        code, out, err = run_lint(str(REPO / "src"), "--rules", "lock-order")
+        self.assertEqual(code, 0, f"src/ lock order must be clean:\n{out}{err}")
+
+    def test_lock_order_sees_the_real_graph(self):
+        """An inverted registry must trip on the repo's own nesting edges —
+        proves the whole-project pass is not vacuously clean."""
+        import tempfile
+        base = (HERE / "lock_order.toml").read_text()
+        with tempfile.NamedTemporaryFile("w", suffix=".toml",
+                                         delete=False) as fh:
+            fh.write(base.replace('"Engine::bg_m_" = 30',
+                                  '"Engine::bg_m_" = 45'))
+            tmp = fh.name
+        try:
+            code, out, _ = run_lint(str(REPO / "src"), "--rules",
+                                    "lock-order", "--lock-order-config", tmp)
+            self.assertEqual(code, 1, "inverted ranks must trip")
+            self.assertIn("Engine::bg_m_", out)
+        finally:
+            Path(tmp).unlink()
 
 
 if __name__ == "__main__":
